@@ -1,0 +1,249 @@
+// Package bamboo is the public API of this reproduction of "Releasing
+// Locks As Early As You Can: Reducing Contention of Hotspots by Violating
+// Two-Phase Locking" (Guo, Wu, Yan, Yu — SIGMOD 2021).
+//
+// It exposes an embeddable in-memory transactional engine with pluggable
+// concurrency control: the paper's Bamboo protocol (early lock retiring
+// over Wound-Wait with dirty reads, commit-semaphore dependency tracking
+// and cascading aborts), the 2PL baselines (Wound-Wait, Wait-Die,
+// No-Wait), the Silo OCC baseline, and an interactive-mode wrapper that
+// charges a network round trip per operation.
+//
+// Quick start:
+//
+//	db := bamboo.Open(bamboo.Options{Protocol: bamboo.Bamboo})
+//	accounts := db.CreateTable(bamboo.NewSchema("accounts",
+//		bamboo.Column{Name: "balance", Type: bamboo.ColInt64}))
+//	... load rows ...
+//	err := db.Execute(0, func(tx bamboo.Tx) error {
+//		return tx.Update(accounts.Get(42), func(img []byte) {
+//			accounts.Schema.AddInt64(img, 0, 100)
+//		})
+//	})
+//
+// See the examples directory for runnable programs and internal/bench for
+// the paper's experiments.
+package bamboo
+
+import (
+	"fmt"
+	"time"
+
+	"bamboo/internal/core"
+	"bamboo/internal/lock"
+	"bamboo/internal/occ"
+	"bamboo/internal/rpcsim"
+	"bamboo/internal/stats"
+	"bamboo/internal/storage"
+)
+
+// Protocol selects the concurrency-control scheme of a DB.
+type Protocol int
+
+const (
+	// Bamboo is the paper's protocol with all optimizations (§3.5) and
+	// δ = 0.15.
+	Bamboo Protocol = iota
+	// BambooBase is Bamboo without Optimization 2 (every write retires).
+	BambooBase
+	// WoundWait, WaitDie and NoWait are the 2PL baselines.
+	WoundWait
+	// WaitDie is the Wait-Die 2PL baseline.
+	WaitDie
+	// NoWait is the No-Wait 2PL baseline.
+	NoWait
+	// Silo is the OCC baseline.
+	Silo
+)
+
+// String implements fmt.Stringer.
+func (p Protocol) String() string {
+	switch p {
+	case Bamboo:
+		return "BAMBOO"
+	case BambooBase:
+		return "BAMBOO-base"
+	case WoundWait:
+		return "WOUND_WAIT"
+	case WaitDie:
+		return "WAIT_DIE"
+	case NoWait:
+		return "NO_WAIT"
+	case Silo:
+		return "SILO"
+	default:
+		return fmt.Sprintf("protocol(%d)", int(p))
+	}
+}
+
+// Re-exported storage types: schemas and tables are defined once and used
+// by every engine.
+type (
+	// Schema is a fixed-width row layout.
+	Schema = storage.Schema
+	// Column describes one column of a schema.
+	Column = storage.Column
+	// Table is a collection of rows with a primary hash index.
+	Table = storage.Table
+	// Row is one tuple.
+	Row = storage.Row
+	// Tx is the operation interface transaction bodies use.
+	Tx = core.Tx
+	// TxnFunc is a transaction body.
+	TxnFunc = core.TxnFunc
+	// Report summarizes a run's throughput, abort rates and time
+	// breakdown.
+	Report = stats.Report
+)
+
+// Column type constants.
+const (
+	// ColInt64 is a 64-bit integer column.
+	ColInt64 = storage.ColInt64
+	// ColFloat64 is a 64-bit float column.
+	ColFloat64 = storage.ColFloat64
+	// ColBytes is a fixed-width byte-string column.
+	ColBytes = storage.ColBytes
+)
+
+// NewSchema builds a schema from columns.
+func NewSchema(name string, cols ...Column) *Schema { return storage.NewSchema(name, cols...) }
+
+// ErrUserAbort requests a final, user-initiated abort from inside a
+// transaction body; the transaction is rolled back and not retried.
+var ErrUserAbort = core.ErrUserAbort
+
+// Options configures Open.
+type Options struct {
+	// Protocol selects the concurrency control scheme (default Bamboo).
+	Protocol Protocol
+	// Delta overrides Bamboo's Optimization-2 δ (default 0.15; 0 retires
+	// every write eagerly).
+	Delta *float64
+	// DisableDynamicTS turns off timestamp-on-first-conflict.
+	DisableDynamicTS bool
+	// InteractiveRTT, when positive, wraps the engine in the
+	// interactive-mode transport charging this round trip per operation.
+	InteractiveRTT time.Duration
+	// AbortBackoffMax bounds the randomized retry backoff after aborts.
+	AbortBackoffMax time.Duration
+}
+
+// DB is a database instance bound to one protocol.
+type DB struct {
+	inner  *core.DB
+	engine core.Engine
+	silo   *occ.Engine
+}
+
+// Open creates a database.
+func Open(opts Options) *DB {
+	var cfg core.Config
+	switch opts.Protocol {
+	case Bamboo:
+		cfg = core.Bamboo()
+	case BambooBase:
+		cfg = core.BambooBase()
+	case WoundWait:
+		cfg = core.WoundWait()
+	case WaitDie:
+		cfg = core.WaitDie()
+	case NoWait:
+		cfg = core.NoWait()
+	case Silo:
+		cfg = core.Config{}
+	}
+	if opts.Delta != nil {
+		cfg.Delta = *opts.Delta
+	}
+	if opts.DisableDynamicTS {
+		cfg.DynamicTS = false
+	}
+	cfg.AbortBackoffMax = opts.AbortBackoffMax
+
+	db := &DB{inner: core.NewDB(cfg)}
+	if opts.Protocol == Silo {
+		db.silo = occ.New(db.inner)
+		db.engine = db.silo
+	} else {
+		db.engine = core.NewLockEngine(db.inner)
+	}
+	if opts.InteractiveRTT > 0 {
+		db.engine = rpcsim.New(db.engine, rpcsim.Config{RTT: opts.InteractiveRTT})
+	}
+	return db
+}
+
+// Close releases background resources (the Silo epoch advancer).
+func (db *DB) Close() {
+	if db.silo != nil {
+		db.silo.Close()
+	}
+}
+
+// Protocol returns the display name of the configured protocol.
+func (db *DB) Protocol() string { return db.engine.Name() }
+
+// CreateTable creates a table, panicking on duplicate names (schema setup
+// is static).
+func (db *DB) CreateTable(schema *Schema) *Table {
+	return db.inner.Catalog.MustCreateTable(schema, 0)
+}
+
+// Table returns a table by name, or nil.
+func (db *DB) Table(name string) *Table { return db.inner.Catalog.Table(name) }
+
+// Execute runs fn as one serializable transaction on behalf of the given
+// worker, retrying internally until it commits or aborts finally. It
+// returns nil on commit and on user abort; any other error is a
+// programming error.
+func (db *DB) Execute(worker int, fn TxnFunc) error {
+	sess := db.engine.NewSession(worker, &stats.Collector{})
+	return sess.Run(fn)
+}
+
+// Session is a long-lived per-worker execution context that accumulates
+// statistics; prefer it over Execute in loops.
+type Session struct {
+	inner core.Session
+	col   *stats.Collector
+}
+
+// NewSession creates a session for a worker.
+func (db *DB) NewSession(worker int) *Session {
+	col := &stats.Collector{}
+	return &Session{inner: db.engine.NewSession(worker, col), col: col}
+}
+
+// Run executes one logical transaction.
+func (s *Session) Run(fn TxnFunc) error { return s.inner.Run(fn) }
+
+// Stats summarizes the session so far.
+func (s *Session) Stats() Report {
+	return stats.Summarize("session", s.col.Elapsed, []*stats.Collector{s.col}, nil)
+}
+
+// Run drives a closed-loop multi-worker run: workers goroutines each
+// execute perWorker transactions produced by gen and the merged report is
+// returned. gen receives (worker, seq).
+func (db *DB) Run(workers, perWorker int, gen func(worker, seq int) TxnFunc) (Report, error) {
+	res := core.RunN(db.engine, workers, perWorker, core.Generator(gen))
+	return res.Report, res.Err
+}
+
+// RunFor is Run with a wall-clock budget instead of a transaction count.
+func (db *DB) RunFor(workers int, d time.Duration, gen func(worker, seq int) TxnFunc) (Report, error) {
+	res := core.RunFor(db.engine, workers, d, core.Generator(gen))
+	return res.Report, res.Err
+}
+
+// Engine exposes the underlying core.Engine for integration with the
+// workload and bench packages.
+func (db *DB) Engine() core.Engine { return db.engine }
+
+// Internal returns the underlying core.DB (catalog, WAL, commit hooks).
+func (db *DB) Internal() *core.DB { return db.inner }
+
+// LockVariant re-exports the lock variants for advanced configuration via
+// the internal packages.
+type LockVariant = lock.Variant

@@ -1,0 +1,94 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation. Run all of them with
+//
+//	go test -bench=. -benchmem
+//
+// or a single figure with e.g. -bench=BenchmarkFig6. Each benchmark
+// executes its experiment once per b.N at a moderate scale and reports
+// committed transactions/second for the headline protocol as the custom
+// metric "bamboo_tps" alongside the standard ns/op. The full sweeps with
+// printed series (what EXPERIMENTS.md records) come from
+// cmd/bamboo-bench.
+package bamboo_test
+
+import (
+	"testing"
+	"time"
+
+	"bamboo/internal/bench"
+)
+
+func benchScale() bench.Scale {
+	return bench.Scale{
+		Threads:       []int{8},
+		TxnsPerWorker: 400,
+		Rows:          30000,
+		RTT:           20 * time.Microsecond,
+	}
+}
+
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	e := bench.Find(id)
+	if e == nil {
+		b.Fatalf("experiment %s not found", id)
+	}
+	s := benchScale()
+	b.ResetTimer()
+	var lastTPS float64
+	for i := 0; i < b.N; i++ {
+		rows := e.Run(s)
+		for _, r := range rows {
+			if r.Protocol == "BAMBOO" {
+				lastTPS = r.Report.ThroughputTPS
+			}
+		}
+	}
+	if lastTPS > 0 {
+		b.ReportMetric(lastTPS, "bamboo_tps")
+	}
+}
+
+// BenchmarkFig1Schedules reproduces Figure 1 (schedule overlap with one
+// hotspot).
+func BenchmarkFig1Schedules(b *testing.B) { runExperiment(b, "fig1") }
+
+// BenchmarkSec52SingleHotspot reproduces the §5.2 single-hotspot numbers.
+func BenchmarkSec52SingleHotspot(b *testing.B) { runExperiment(b, "sec5.2") }
+
+// BenchmarkFig3aSpeedupVsThreads reproduces Figure 3a.
+func BenchmarkFig3aSpeedupVsThreads(b *testing.B) { runExperiment(b, "fig3a") }
+
+// BenchmarkFig3bHotspotPosition reproduces Figure 3b.
+func BenchmarkFig3bHotspotPosition(b *testing.B) { runExperiment(b, "fig3b") }
+
+// BenchmarkFig4SecondHotspotDistance reproduces Figure 4.
+func BenchmarkFig4SecondHotspotDistance(b *testing.B) { runExperiment(b, "fig4") }
+
+// BenchmarkFig5FirstHotspotDistance reproduces Figure 5.
+func BenchmarkFig5FirstHotspotDistance(b *testing.B) { runExperiment(b, "fig5") }
+
+// BenchmarkFig6YCSBThreads reproduces Figure 6.
+func BenchmarkFig6YCSBThreads(b *testing.B) { runExperiment(b, "fig6") }
+
+// BenchmarkFig7LongReadOnly reproduces Figure 7.
+func BenchmarkFig7LongReadOnly(b *testing.B) { runExperiment(b, "fig7") }
+
+// BenchmarkFig8YCSBZipf reproduces Figure 8.
+func BenchmarkFig8YCSBZipf(b *testing.B) { runExperiment(b, "fig8") }
+
+// BenchmarkFig9TPCCThreads reproduces Figure 9.
+func BenchmarkFig9TPCCThreads(b *testing.B) { runExperiment(b, "fig9") }
+
+// BenchmarkFig10TPCCWarehouses reproduces Figure 10.
+func BenchmarkFig10TPCCWarehouses(b *testing.B) { runExperiment(b, "fig10") }
+
+// BenchmarkFig11IC3 reproduces Figure 11.
+func BenchmarkFig11IC3(b *testing.B) { runExperiment(b, "fig11") }
+
+// BenchmarkDeltaSweep reproduces the §5.1 δ calibration.
+func BenchmarkDeltaSweep(b *testing.B) { runExperiment(b, "delta") }
+
+// BenchmarkAblationOptimizations measures the §3.5 optimizations
+// individually.
+func BenchmarkAblationOptimizations(b *testing.B) { runExperiment(b, "ablation") }

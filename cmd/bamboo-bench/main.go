@@ -1,0 +1,84 @@
+// Command bamboo-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	bamboo-bench -list
+//	bamboo-bench -exp fig6
+//	bamboo-bench -exp all -threads 1,2,4,8,16,32 -duration 1s
+//
+// Each experiment prints one block per x-axis value with one line per
+// protocol: throughput, abort rate and the amortized per-transaction time
+// breakdown (lock wait / commit wait / abort / useful), matching the
+// series the paper plots. EXPERIMENTS.md records the measured shapes
+// against the paper's.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"bamboo/internal/bench"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "", "experiment id (see -list), or 'all'")
+		list     = flag.Bool("list", false, "list experiments")
+		threads  = flag.String("threads", "", "comma-separated worker sweep (default: powers of two up to 2×GOMAXPROCS)")
+		duration = flag.Duration("duration", 400*time.Millisecond, "wall-clock budget per data point (0 = fixed transaction count)")
+		txns     = flag.Int("txns", 2000, "transactions per worker per point when -duration=0")
+		rows     = flag.Int("rows", 100000, "table rows for synthetic/YCSB workloads")
+		rtt      = flag.Duration("rtt", 100*time.Microsecond, "interactive-mode round trip per operation")
+	)
+	flag.Parse()
+
+	if *list || *exp == "" {
+		fmt.Println("experiments:")
+		for _, e := range bench.All() {
+			fmt.Printf("  %-8s %s\n", e.ID, e.Title)
+		}
+		if *exp == "" {
+			os.Exit(0)
+		}
+	}
+
+	s := bench.Full()
+	s.Duration = *duration
+	s.TxnsPerWorker = *txns
+	s.Rows = *rows
+	s.RTT = *rtt
+	if *threads != "" {
+		s.Threads = nil
+		for _, part := range strings.Split(*threads, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || n < 1 {
+				fmt.Fprintf(os.Stderr, "bad -threads value %q\n", part)
+				os.Exit(2)
+			}
+			s.Threads = append(s.Threads, n)
+		}
+	}
+
+	var run []bench.Experiment
+	if *exp == "all" {
+		run = bench.All()
+	} else {
+		e := bench.Find(*exp)
+		if e == nil {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *exp)
+			os.Exit(2)
+		}
+		run = []bench.Experiment{*e}
+	}
+
+	for _, e := range run {
+		start := time.Now()
+		rows := e.Run(s)
+		bench.Print(os.Stdout, fmt.Sprintf("%s (%s, took %v)", e.ID, e.Title, time.Since(start).Round(time.Millisecond)), rows)
+		fmt.Println()
+	}
+}

@@ -1,0 +1,38 @@
+// YCSB contention sweep: drives the paper's §5.4 workload through the
+// public API at increasing Zipfian skew, printing the throughput series
+// for Bamboo, Wound-Wait and Silo side by side (a miniature Figure 8a).
+// Bamboo's advantage should appear as theta crosses ~0.8.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"bamboo"
+	"bamboo/internal/workload/ycsb"
+)
+
+func main() {
+	fmt.Printf("%8s  %12s %12s %12s\n", "theta", "BAMBOO", "WOUND_WAIT", "SILO")
+	for _, theta := range []float64{0.5, 0.7, 0.8, 0.9, 0.99} {
+		var tps [3]float64
+		for i, proto := range []bamboo.Protocol{bamboo.Bamboo, bamboo.WoundWait, bamboo.Silo} {
+			db := bamboo.Open(bamboo.Options{Protocol: proto})
+			cfg := ycsb.DefaultConfig()
+			cfg.Rows = 100000
+			cfg.Theta = theta
+			w, err := ycsb.Load(db.Internal(), cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			rep, err := db.RunFor(8, 300*time.Millisecond, w.Generator())
+			if err != nil {
+				log.Fatal(err)
+			}
+			tps[i] = rep.ThroughputTPS
+			db.Close()
+		}
+		fmt.Printf("%8.2f  %12.0f %12.0f %12.0f\n", theta, tps[0], tps[1], tps[2])
+	}
+}

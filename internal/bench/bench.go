@@ -1,0 +1,529 @@
+// Package bench contains the experiment runners that regenerate every
+// table and figure of the paper's evaluation (§5). Each experiment
+// produces the same series the paper plots — protocol × x-axis →
+// throughput and, where the paper shows them, the amortized per-
+// transaction runtime breakdowns (lock wait / abort / commit wait /
+// useful work).
+//
+// The runners are used three ways: from unit-style smoke tests, from the
+// root bench_test.go (go test -bench), and from cmd/bamboo-bench. Absolute
+// numbers depend on the host; the reproduction target is each figure's
+// shape (who wins, by what factor, where the crossover falls), recorded in
+// EXPERIMENTS.md.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"time"
+
+	"bamboo/internal/chop"
+	"bamboo/internal/core"
+	"bamboo/internal/occ"
+	"bamboo/internal/rpcsim"
+	"bamboo/internal/stats"
+	"bamboo/internal/workload/synth"
+	"bamboo/internal/workload/tpcc"
+	"bamboo/internal/workload/ycsb"
+)
+
+// Scale bounds an experiment's cost.
+type Scale struct {
+	// Threads is the worker sweep; nil selects a default bounded by
+	// GOMAXPROCS.
+	Threads []int
+	// TxnsPerWorker is the per-point transaction count when Duration is
+	// zero.
+	TxnsPerWorker int
+	// Duration, when set, runs each point for a fixed wall-clock time.
+	Duration time.Duration
+	// Rows scales the workload tables.
+	Rows int
+	// RTT is the interactive-mode round trip.
+	RTT time.Duration
+}
+
+// Quick is the configuration used by tests: small but contentious.
+func Quick() Scale {
+	return Scale{Threads: []int{4}, TxnsPerWorker: 300, Rows: 20000, RTT: 20 * time.Microsecond}
+}
+
+// Full is the configuration used by the CLI and benchmarks.
+func Full() Scale {
+	maxT := runtime.GOMAXPROCS(0)
+	var threads []int
+	for _, t := range []int{1, 2, 4, 8, 16, 32, 64} {
+		if t <= 2*maxT {
+			threads = append(threads, t)
+		}
+	}
+	return Scale{Threads: threads, Duration: 400 * time.Millisecond,
+		TxnsPerWorker: 2000, Rows: 100000, RTT: 100 * time.Microsecond}
+}
+
+func (s Scale) threads() []int {
+	if len(s.Threads) > 0 {
+		return s.Threads
+	}
+	return []int{1, 4, 16}
+}
+
+// Row is one series point of an experiment.
+type Row struct {
+	X        string
+	Protocol string
+	Report   stats.Report
+}
+
+// Experiment names a runner.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(s Scale) []Row
+}
+
+// All returns every experiment keyed in DESIGN.md's experiment index.
+func All() []Experiment {
+	return []Experiment{
+		{"fig1", "Fig 1: schedule makespan with one hotspot (2PL vs OCC vs Bamboo)", Fig1Schedules},
+		{"sec5.2", "§5.2: single hotspot at the beginning, protocol comparison", Sec52SingleHotspot},
+		{"fig3a", "Fig 3a: Bamboo/Wound-Wait speedup vs threads × txn length", Fig3aSpeedup},
+		{"fig3b", "Fig 3b: throughput vs hotspot position", Fig3bHotspotPosition},
+		{"fig4", "Fig 4: two hotspots, first fixed at beginning", Fig4SecondHotspot},
+		{"fig5", "Fig 5: two hotspots, second fixed at end", Fig5FirstHotspot},
+		{"fig6", "Fig 6: YCSB vs threads (theta=0.9)", Fig6YCSBThreads},
+		{"fig7", "Fig 7: YCSB with 5% long read-only transactions", Fig7LongReadOnly},
+		{"fig8", "Fig 8: YCSB vs Zipfian theta, stored-procedure + interactive", Fig8YCSBZipf},
+		{"fig9", "Fig 9: TPC-C vs threads (1 warehouse), both modes", Fig9TPCCThreads},
+		{"fig10", "Fig 10: TPC-C vs warehouses, both modes", Fig10TPCCWarehouses},
+		{"fig11", "Fig 11: Bamboo vs IC3 on TPC-C (original and modified NewOrder)", Fig11IC3},
+		{"delta", "§5.1: delta sweep for Optimization 2", DeltaSweep},
+		{"ablation", "Ablation: Bamboo optimizations on/off", Ablation},
+	}
+}
+
+// Find returns the experiment with the given id, or nil.
+func Find(id string) *Experiment {
+	for _, e := range All() {
+		if e.ID == id {
+			e := e
+			return &e
+		}
+	}
+	return nil
+}
+
+// Print renders rows grouped by X.
+func Print(w io.Writer, title string, rows []Row) {
+	fmt.Fprintf(w, "== %s ==\n", title)
+	lastX := ""
+	for _, r := range rows {
+		if r.X != lastX {
+			fmt.Fprintf(w, "-- %s\n", r.X)
+			lastX = r.X
+		}
+		fmt.Fprintf(w, "   %s\n", r.Report.String())
+	}
+}
+
+// protocol configuration sets used across figures.
+
+func lockConfigs() []core.Config {
+	return []core.Config{core.Bamboo(), core.WoundWait(), core.WaitDie(), core.NoWait()}
+}
+
+// engineFor builds a fresh engine (and DB) for a protocol configuration.
+// siloCfg handles the OCC baseline, which is not lock-based.
+type engineBuilder struct {
+	name string
+	make func() (core.Engine, *core.DB, func())
+}
+
+func lockBuilder(cfg core.Config) engineBuilder {
+	name := core.NewDB(cfg).ProtocolName()
+	return engineBuilder{name: name, make: func() (core.Engine, *core.DB, func()) {
+		db := core.NewDB(cfg)
+		return core.NewLockEngine(db), db, func() {}
+	}}
+}
+
+func siloBuilder() engineBuilder {
+	return engineBuilder{name: "SILO", make: func() (core.Engine, *core.DB, func()) {
+		db := core.NewDB(core.Config{})
+		e := occ.New(db)
+		return e, db, e.Close
+	}}
+}
+
+func standardBuilders() []engineBuilder {
+	return []engineBuilder{
+		lockBuilder(core.Bamboo()),
+		lockBuilder(core.WoundWait()),
+		lockBuilder(core.WaitDie()),
+		lockBuilder(core.NoWait()),
+		siloBuilder(),
+	}
+}
+
+// runPoint loads a workload into a fresh engine and drives it.
+func runPoint(s Scale, b engineBuilder, interactive bool,
+	load func(db *core.DB) (core.Generator, error), threads int) stats.Report {
+
+	e, db, closer := b.make()
+	defer closer()
+	gen, err := load(db)
+	if err != nil {
+		panic(fmt.Sprintf("bench: load: %v", err))
+	}
+	eng := e
+	if interactive {
+		eng = rpcsim.New(e, rpcsim.Config{RTT: s.RTT})
+	}
+	var res core.RunResult
+	if s.Duration > 0 {
+		res = core.RunFor(eng, threads, s.Duration, gen)
+	} else {
+		res = core.RunN(eng, threads, s.TxnsPerWorker, gen)
+	}
+	if res.Err != nil {
+		panic(fmt.Sprintf("bench: run: %v", res.Err))
+	}
+	return res.Report
+}
+
+func synthLoader(cfg synth.Config) func(db *core.DB) (core.Generator, error) {
+	return func(db *core.DB) (core.Generator, error) {
+		w, err := synth.Load(db, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return w.Generator(), nil
+	}
+}
+
+func ycsbLoader(cfg ycsb.Config) func(db *core.DB) (core.Generator, error) {
+	return func(db *core.DB) (core.Generator, error) {
+		w, err := ycsb.Load(db, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return w.Generator(), nil
+	}
+}
+
+func tpccLoader(cfg tpcc.Config) func(db *core.DB) (core.Generator, error) {
+	return func(db *core.DB) (core.Generator, error) {
+		w, err := tpcc.Load(db, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return w.Generator(), nil
+	}
+}
+
+// Fig1Schedules demonstrates Figure 1: three transactions that write the
+// hotspot A at their start and then do independent work. Under 2PL the
+// makespan is ~3 transaction lengths; under Bamboo the hotspot serializes
+// only for its own duration and the rest overlaps (the "ideal" schedule);
+// OCC (Silo) aborts and restarts the laggards.
+func Fig1Schedules(s Scale) []Row {
+	var rows []Row
+	cfg := synth.Config{Rows: 4096, TxnLen: 16, HotspotPos: []float64{0}}
+	for _, b := range []engineBuilder{
+		lockBuilder(core.WoundWait()),
+		siloBuilder(),
+		lockBuilder(core.Bamboo()),
+	} {
+		sc := s
+		sc.Duration = 0
+		sc.TxnsPerWorker = s.TxnsPerWorker
+		rep := runPoint(sc, b, false, synthLoader(cfg), 3)
+		rows = append(rows, Row{X: "3 concurrent writers of hotspot A", Protocol: b.name, Report: rep})
+	}
+	return rows
+}
+
+// Sec52SingleHotspot reproduces the §5.2 text numbers: one
+// read-modify-write hotspot at the beginning plus random reads.
+func Sec52SingleHotspot(s Scale) []Row {
+	cfg := synth.Config{Rows: s.Rows, TxnLen: 16, HotspotPos: []float64{0}}
+	threads := s.threads()
+	t := threads[len(threads)-1]
+	var rows []Row
+	for _, b := range standardBuilders() {
+		rep := runPoint(s, b, false, synthLoader(cfg), t)
+		rows = append(rows, Row{X: fmt.Sprintf("%d threads", t), Protocol: b.name, Report: rep})
+	}
+	return rows
+}
+
+// Fig3aSpeedup sweeps thread count and transaction length, reporting
+// Bamboo and Wound-Wait throughput (the paper plots their ratio).
+func Fig3aSpeedup(s Scale) []Row {
+	var rows []Row
+	for _, txnLen := range []int{4, 16, 64} {
+		cfg := synth.Config{Rows: s.Rows, TxnLen: txnLen, HotspotPos: []float64{0}}
+		for _, t := range s.threads() {
+			x := fmt.Sprintf("len=%d threads=%d", txnLen, t)
+			for _, b := range []engineBuilder{lockBuilder(core.Bamboo()), lockBuilder(core.WoundWait())} {
+				rep := runPoint(s, b, false, synthLoader(cfg), t)
+				rows = append(rows, Row{X: x, Protocol: b.name, Report: rep})
+			}
+		}
+	}
+	return rows
+}
+
+// Fig3bHotspotPosition sweeps the hotspot position within the
+// transaction.
+func Fig3bHotspotPosition(s Scale) []Row {
+	var rows []Row
+	threads := maxThreads(s)
+	for _, pos := range []float64{0, 0.25, 0.5, 0.75, 1.0} {
+		cfg := synth.Config{Rows: s.Rows, TxnLen: 16, HotspotPos: []float64{pos}}
+		x := fmt.Sprintf("position=%.2f", pos)
+		for _, b := range []engineBuilder{lockBuilder(core.Bamboo()), lockBuilder(core.WoundWait())} {
+			rep := runPoint(s, b, false, synthLoader(cfg), threads)
+			rows = append(rows, Row{X: x, Protocol: b.name, Report: rep})
+		}
+	}
+	return rows
+}
+
+// Fig4SecondHotspot fixes one hotspot at the beginning and sweeps the
+// second one's distance; BAMBOO-base (no Optimization 2) is included as
+// in the paper.
+func Fig4SecondHotspot(s Scale) []Row {
+	return twoHotspots(s, func(d float64) []float64 { return []float64{0, d} }, "distance")
+}
+
+// Fig5FirstHotspot fixes the second hotspot at the end and sweeps the
+// first one's distance from it.
+func Fig5FirstHotspot(s Scale) []Row {
+	return twoHotspots(s, func(d float64) []float64 { return []float64{1 - d, 1} }, "distance")
+}
+
+func twoHotspots(s Scale, pos func(float64) []float64, label string) []Row {
+	var rows []Row
+	threads := maxThreads(s)
+	for _, d := range []float64{0, 0.25, 0.5, 0.75, 1.0} {
+		cfg := synth.Config{Rows: s.Rows, TxnLen: 16, HotspotPos: pos(d)}
+		x := fmt.Sprintf("%s=%.2f", label, d)
+		for _, b := range []engineBuilder{
+			lockBuilder(core.BambooBase()),
+			lockBuilder(core.Bamboo()),
+			lockBuilder(core.WoundWait()),
+		} {
+			rep := runPoint(s, b, false, synthLoader(cfg), threads)
+			rows = append(rows, Row{X: x, Protocol: b.name, Report: rep})
+		}
+	}
+	return rows
+}
+
+// Fig6YCSBThreads sweeps threads on high-contention YCSB.
+func Fig6YCSBThreads(s Scale) []Row {
+	cfg := ycsb.DefaultConfig()
+	cfg.Rows = s.Rows
+	cfg.Theta = 0.9
+	var rows []Row
+	for _, t := range s.threads() {
+		x := fmt.Sprintf("threads=%d", t)
+		for _, b := range standardBuilders() {
+			rep := runPoint(s, b, false, ycsbLoader(cfg), t)
+			rows = append(rows, Row{X: x, Protocol: b.name, Report: rep})
+		}
+	}
+	return rows
+}
+
+// Fig7LongReadOnly adds 5% read-only transactions of 1000 tuples.
+func Fig7LongReadOnly(s Scale) []Row {
+	cfg := ycsb.DefaultConfig()
+	cfg.Rows = s.Rows
+	cfg.Theta = 0.9
+	cfg.LongReadFrac = 0.05
+	cfg.LongReadOps = min(1000, s.Rows/4)
+	var rows []Row
+	for _, t := range s.threads() {
+		x := fmt.Sprintf("threads=%d", t)
+		for _, b := range standardBuilders() {
+			rep := runPoint(s, b, false, ycsbLoader(cfg), t)
+			rows = append(rows, Row{X: x, Protocol: b.name, Report: rep})
+		}
+	}
+	return rows
+}
+
+// Fig8YCSBZipf sweeps the Zipfian theta in stored-procedure and
+// interactive modes.
+func Fig8YCSBZipf(s Scale) []Row {
+	var rows []Row
+	threads := maxThreads(s)
+	for _, mode := range []bool{false, true} {
+		for _, theta := range []float64{0.5, 0.7, 0.8, 0.9, 0.99} {
+			cfg := ycsb.DefaultConfig()
+			cfg.Rows = s.Rows
+			cfg.Theta = theta
+			label := "stored-proc"
+			if mode {
+				label = "interactive"
+			}
+			x := fmt.Sprintf("%s theta=%.2f", label, theta)
+			for _, b := range standardBuilders() {
+				rep := runPoint(s, b, mode, ycsbLoader(cfg), threads)
+				rows = append(rows, Row{X: x, Protocol: b.name, Report: rep})
+			}
+		}
+	}
+	return rows
+}
+
+// Fig9TPCCThreads sweeps threads on 1-warehouse TPC-C in both modes.
+func Fig9TPCCThreads(s Scale) []Row {
+	cfg := tpcc.DefaultConfig()
+	var rows []Row
+	for _, mode := range []bool{false, true} {
+		label := "stored-proc"
+		if mode {
+			label = "interactive"
+		}
+		for _, t := range s.threads() {
+			x := fmt.Sprintf("%s threads=%d", label, t)
+			for _, b := range standardBuilders() {
+				rep := runPoint(s, b, mode, tpccLoader(cfg), t)
+				rows = append(rows, Row{X: x, Protocol: b.name, Report: rep})
+			}
+		}
+	}
+	return rows
+}
+
+// Fig10TPCCWarehouses sweeps the warehouse count at fixed threads.
+func Fig10TPCCWarehouses(s Scale) []Row {
+	var rows []Row
+	threads := maxThreads(s)
+	for _, mode := range []bool{false, true} {
+		label := "stored-proc"
+		if mode {
+			label = "interactive"
+		}
+		for _, wh := range []int{16, 8, 4, 2, 1} {
+			cfg := tpcc.DefaultConfig()
+			cfg.Warehouses = wh
+			x := fmt.Sprintf("%s warehouses=%d", label, wh)
+			for _, b := range standardBuilders() {
+				rep := runPoint(s, b, mode, tpccLoader(cfg), threads)
+				rows = append(rows, Row{X: x, Protocol: b.name, Report: rep})
+			}
+		}
+	}
+	return rows
+}
+
+// Fig11IC3 compares Bamboo, IC3, Wound-Wait and Silo on 1-warehouse TPC-C
+// with the original and the modified (W_YTD-reading) NewOrder.
+func Fig11IC3(s Scale) []Row {
+	var rows []Row
+	for _, modified := range []bool{false, true} {
+		variant := "original"
+		if modified {
+			variant = "modified"
+		}
+		for _, t := range s.threads() {
+			x := fmt.Sprintf("%s threads=%d", variant, t)
+			cfg := tpcc.DefaultConfig()
+			cfg.ModifiedNewOrder = modified
+			for _, b := range []engineBuilder{
+				lockBuilder(core.Bamboo()),
+				lockBuilder(core.WoundWait()),
+				siloBuilder(),
+			} {
+				rep := runPoint(s, b, false, tpccLoader(cfg), t)
+				rows = append(rows, Row{X: x, Protocol: b.name, Report: rep})
+			}
+			rows = append(rows, Row{X: x, Protocol: "IC3", Report: runIC3Point(s, cfg, t)})
+		}
+	}
+	return rows
+}
+
+func runIC3Point(s Scale, cfg tpcc.Config, threads int) stats.Report {
+	db := core.NewDB(core.Config{})
+	w, err := tpcc.Load(db, cfg)
+	if err != nil {
+		panic(err)
+	}
+	reg, payment, neworder := w.ChopRegistry()
+	e := chop.New(db, reg)
+	per := s.TxnsPerWorker
+	start := time.Now()
+	cols, err := w.RunIC3(e, payment, neworder, threads, per)
+	if err != nil {
+		panic(err)
+	}
+	return stats.Summarize("IC3", time.Since(start), cols, db.Global)
+}
+
+// DeltaSweep measures the effect of Optimization 2's delta parameter
+// (§5.1 reports <13% spread and settles on 0.15).
+func DeltaSweep(s Scale) []Row {
+	var rows []Row
+	threads := maxThreads(s)
+	cfg := synth.Config{Rows: s.Rows, TxnLen: 16, HotspotPos: []float64{0, 1}}
+	for _, delta := range []float64{0, 0.05, 0.15, 0.3, 0.5, 1.0} {
+		c := core.Bamboo()
+		c.Delta = delta
+		b := lockBuilder(c)
+		b.name = fmt.Sprintf("BAMBOO d=%.2f", delta)
+		rep := runPoint(s, b, false, synthLoader(cfg), threads)
+		rows = append(rows, Row{X: "delta sweep", Protocol: b.name, Report: rep})
+	}
+	return rows
+}
+
+// Ablation toggles each Bamboo optimization off in turn on
+// high-contention YCSB, quantifying the design choices of §3.5.
+func Ablation(s Scale) []Row {
+	cfg := ycsb.DefaultConfig()
+	cfg.Rows = s.Rows
+	cfg.Theta = 0.9
+	threads := maxThreads(s)
+
+	mk := func(name string, mod func(*core.Config)) engineBuilder {
+		c := core.Bamboo()
+		mod(&c)
+		b := lockBuilder(c)
+		b.name = name
+		return b
+	}
+	builders := []engineBuilder{
+		mk("BAMBOO(full)", func(*core.Config) {}),
+		mk("-O1 reads", func(c *core.Config) { c.RetireReads = false; c.NoWoundRead = false }),
+		mk("-O2 delta", func(c *core.Config) { c.Delta = 0 }),
+		mk("-O3 nowound", func(c *core.Config) { c.NoWoundRead = false }),
+		mk("-O4 dynts", func(c *core.Config) { c.DynamicTS = false }),
+		mk("-retire(=WW)", func(c *core.Config) { c.RetireWrites = false; c.RetireReads = false; c.NoWoundRead = false }),
+	}
+	var rows []Row
+	for _, b := range builders {
+		rep := runPoint(s, b, false, ycsbLoader(cfg), threads)
+		rows = append(rows, Row{X: fmt.Sprintf("ycsb theta=0.9 threads=%d", threads), Protocol: b.name, Report: rep})
+	}
+	return rows
+}
+
+func maxThreads(s Scale) int {
+	ts := append([]int(nil), s.threads()...)
+	sort.Ints(ts)
+	return ts[len(ts)-1]
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,76 @@
+package bench_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"bamboo/internal/bench"
+)
+
+// tiny returns a scale small enough for CI-style smoke runs.
+func tiny() bench.Scale {
+	return bench.Scale{Threads: []int{4}, TxnsPerWorker: 60, Rows: 4000, RTT: 5 * time.Microsecond}
+}
+
+// TestAllExperimentsSmoke runs every experiment at tiny scale, checking
+// that each produces rows and every protocol commits work.
+func TestAllExperimentsSmoke(t *testing.T) {
+	for _, e := range bench.All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			t.Parallel()
+			rows := e.Run(tiny())
+			if len(rows) == 0 {
+				t.Fatal("no rows produced")
+			}
+			for _, r := range rows {
+				if r.Report.Commits == 0 {
+					t.Errorf("%s at %s committed nothing", r.Protocol, r.X)
+				}
+			}
+			var sb strings.Builder
+			bench.Print(&sb, e.Title, rows)
+			if !strings.Contains(sb.String(), "txn/s") {
+				t.Error("printed output missing throughput")
+			}
+		})
+	}
+}
+
+func TestFind(t *testing.T) {
+	if bench.Find("fig6") == nil {
+		t.Fatal("fig6 not found")
+	}
+	if bench.Find("nonsense") != nil {
+		t.Fatal("unexpected experiment found")
+	}
+}
+
+// TestBambooBeatsWoundWaitOnHotspot asserts the paper's core claim at
+// smoke scale: with a single hotspot at the beginning of long
+// transactions, Bamboo outperforms Wound-Wait.
+func TestBambooBeatsWoundWaitOnHotspot(t *testing.T) {
+	s := tiny()
+	s.Threads = []int{8}
+	s.TxnsPerWorker = 250
+	rows := bench.Fig3aSpeedup(s)
+	// Find the 16-op pair at 8 threads.
+	var bb, ww float64
+	for _, r := range rows {
+		if r.X == "len=16 threads=8" {
+			switch r.Protocol {
+			case "BAMBOO":
+				bb = r.Report.ThroughputTPS
+			case "WOUND_WAIT":
+				ww = r.Report.ThroughputTPS
+			}
+		}
+	}
+	if bb == 0 || ww == 0 {
+		t.Fatalf("missing series: bb=%f ww=%f", bb, ww)
+	}
+	if bb < ww {
+		t.Errorf("BAMBOO (%.0f tps) slower than WOUND_WAIT (%.0f tps) on its best-case workload", bb, ww)
+	}
+}

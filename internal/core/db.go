@@ -1,0 +1,205 @@
+// Package core implements the paper's primary contribution: the Bamboo
+// transaction executor (Algorithm 1) over the lock table of
+// internal/lock, together with the 2PL baselines that share the same code
+// path (Wound-Wait, Wait-Die, No-Wait).
+//
+// The package exposes the engine-neutral interfaces (Engine, Session, Tx,
+// TxnFunc) that the workloads and the benchmark harness program against,
+// so that the OCC baseline (internal/occ) and the interactive-mode wrapper
+// (internal/rpcsim) are drop-in replacements.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"bamboo/internal/lock"
+	"bamboo/internal/stats"
+	"bamboo/internal/storage"
+	"bamboo/internal/wal"
+)
+
+// ErrUserAbort is returned by transaction logic to request a final,
+// user-initiated abort (paper §4.1 case 3, e.g. TPC-C's 1% rollbacks).
+// The session aborts the transaction and does not retry it.
+var ErrUserAbort = errors.New("core: user-initiated abort")
+
+// errUpgrade reports an SH→EX lock upgrade attempt, which this executor
+// does not support; workloads declare the final access mode up front, as
+// DBx1000's stored procedures do.
+var errUpgrade = errors.New("core: lock upgrade (read then update of the same row) not supported")
+
+// Config selects the protocol variant and Bamboo's optimization toggles.
+type Config struct {
+	// Variant is the lock-table discipline.
+	Variant lock.Variant
+
+	// RetireWrites enables early lock retiring for writes (Bamboo's core
+	// mechanism). Disabled it degenerates Bamboo to Wound-Wait (§3.4).
+	RetireWrites bool
+	// RetireReads is Optimization 1 (reads retire at grant).
+	RetireReads bool
+	// NoWoundRead is Optimization 3 (reads never wound).
+	NoWoundRead bool
+	// DynamicTS is Optimization 4 (timestamp on first conflict).
+	DynamicTS bool
+	// Delta is Optimization 2: writes in the last Delta fraction of a
+	// transaction's declared accesses are not retired eagerly (they are
+	// still retired adaptively if the transaction ends up commit-waiting
+	// longer than Delta of its execution time). The paper uses 0.15.
+	Delta float64
+
+	// AbortBackoffMax bounds the randomized retry backoff after an abort
+	// (DBx1000's ABORT_PENALTY). Zero disables backoff.
+	AbortBackoffMax time.Duration
+
+	// ManualRetire disables the executor's automatic write retiring;
+	// retire points are then chosen by the caller through the Retirer
+	// interface. Used by the §3.3 program-analysis package, which
+	// synthesizes retire conditions.
+	ManualRetire bool
+
+	// CaptureReads makes Update record the pre-mutation image so the
+	// serializability verifier can extract read observations. Off for
+	// benchmarks.
+	CaptureReads bool
+
+	// LogDevice overrides the WAL device (nil = in-memory, not recording).
+	LogDevice wal.Device
+}
+
+// Bamboo returns the paper's full configuration: all four optimizations
+// with δ = 0.15.
+func Bamboo() Config {
+	return Config{
+		Variant:      lock.Bamboo,
+		RetireWrites: true,
+		RetireReads:  true,
+		NoWoundRead:  true,
+		DynamicTS:    true,
+		Delta:        0.15,
+	}
+}
+
+// BambooBase is Bamboo without Optimization 2 (every write retires
+// eagerly) — the BAMBOO-base line of Figures 4 and 5.
+func BambooBase() Config {
+	c := Bamboo()
+	c.Delta = 0
+	return c
+}
+
+// WoundWait, WaitDie and NoWait return baseline 2PL configurations.
+func WoundWait() Config { return Config{Variant: lock.WoundWait} }
+
+// WaitDie returns the Wait-Die 2PL baseline configuration.
+func WaitDie() Config { return Config{Variant: lock.WaitDie} }
+
+// NoWait returns the No-Wait 2PL baseline configuration.
+func NoWait() Config { return Config{Variant: lock.NoWait} }
+
+// DB is a database instance: catalog, lock manager, log and the protocol
+// configuration. One DB hosts one protocol at a time.
+type DB struct {
+	Catalog *storage.Catalog
+	Lock    *lock.Manager
+	Log     *wal.Log
+	Global  *stats.Global
+
+	cfg      Config
+	txnIDs   atomic.Uint64
+	onCommit OnCommitHook
+}
+
+// NewDB creates a database with the given protocol configuration.
+func NewDB(cfg Config) *DB {
+	db := &DB{
+		Catalog: storage.NewCatalog(),
+		Global:  &stats.Global{},
+		cfg:     cfg,
+	}
+	db.Lock = lock.NewManager(lock.Config{
+		Variant:     cfg.Variant,
+		RetireReads: cfg.Variant == lock.Bamboo && cfg.RetireReads,
+		NoWoundRead: cfg.Variant == lock.Bamboo && cfg.NoWoundRead,
+		DynamicTS:   cfg.DynamicTS,
+		OnWound:     db.Global.RecordWound,
+		OnCascade:   db.Global.RecordCascade,
+	})
+	db.Log = wal.New(cfg.LogDevice)
+	return db
+}
+
+// Config returns the DB's protocol configuration.
+func (db *DB) Config() Config { return db.cfg }
+
+// ProtocolName returns the display name used in reports, matching the
+// paper's legends.
+func (db *DB) ProtocolName() string {
+	if db.cfg.Variant == lock.Bamboo {
+		if db.cfg.Delta == 0 {
+			return "BAMBOO-base"
+		}
+		return "BAMBOO"
+	}
+	return db.cfg.Variant.String()
+}
+
+// NextTxnID draws a fresh transaction id.
+func (db *DB) NextTxnID() uint64 { return db.txnIDs.Add(1) }
+
+// Engine abstracts a concurrency-control engine so workloads and the
+// bench harness can drive Bamboo, the 2PL baselines, Silo and the
+// interactive-mode wrapper identically.
+type Engine interface {
+	// Name is the protocol display name.
+	Name() string
+	// NewSession creates a per-worker session reporting into col.
+	NewSession(worker int, col *stats.Collector) Session
+	// Database returns the underlying DB (catalog access for workloads).
+	Database() *DB
+}
+
+// Session executes logical transactions for one worker.
+type Session interface {
+	// Run executes fn as one logical transaction, retrying aborted
+	// attempts until it commits or aborts finally (user abort). The
+	// returned error is nil for commits and user aborts; anything else is
+	// a programming error that poisons the run.
+	Run(fn TxnFunc) error
+}
+
+// TxnFunc is the body of a transaction.
+type TxnFunc func(tx Tx) error
+
+// Tx is the operation interface transaction bodies use. Implementations:
+// the lock-based executor here, the Silo executor in internal/occ, the
+// IC3 piece executor in internal/chop, and the latency-charging wrapper
+// in internal/rpcsim.
+type Tx interface {
+	// Read returns the image of row visible to this transaction. The
+	// caller must not mutate it.
+	Read(row *storage.Row) ([]byte, error)
+	// Update applies mutate to this transaction's private copy of row.
+	Update(row *storage.Row, mutate func(img []byte)) error
+	// Insert buffers a row insert that becomes visible at commit.
+	Insert(tbl *storage.Table, key uint64, img []byte) error
+	// DeclareOps tells the executor how many row accesses the transaction
+	// will perform; Bamboo's Optimization 2 (δ) needs it. Zero (never
+	// declared) means "retire everything", which matches the paper's
+	// interactive mode where every write is treated as the last write.
+	DeclareOps(n int)
+	// Worker returns the worker index of the owning session (workload
+	// generators key per-worker state off it).
+	Worker() int
+	// ID returns the logical transaction id (stable across retries).
+	ID() uint64
+}
+
+// fatalf wraps a programming error so sessions can distinguish it from
+// protocol aborts.
+func fatalf(format string, args ...any) error {
+	return fmt.Errorf("core: fatal: "+format, args...)
+}

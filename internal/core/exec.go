@@ -1,0 +1,451 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"time"
+
+	"bamboo/internal/lock"
+	"bamboo/internal/stats"
+	"bamboo/internal/storage"
+	"bamboo/internal/txn"
+	"bamboo/internal/wal"
+)
+
+// LockEngine is the executor for the lock-based protocols (Bamboo and the
+// three 2PL baselines). It implements Engine.
+type LockEngine struct{ db *DB }
+
+// NewLockEngine wraps db in an Engine.
+func NewLockEngine(db *DB) *LockEngine { return &LockEngine{db: db} }
+
+// Name implements Engine.
+func (e *LockEngine) Name() string { return e.db.ProtocolName() }
+
+// Database implements Engine.
+func (e *LockEngine) Database() *DB { return e.db }
+
+// NewSession implements Engine.
+func (e *LockEngine) NewSession(worker int, col *stats.Collector) Session {
+	return &lockSession{
+		db:     e.db,
+		worker: worker,
+		col:    col,
+		rng:    rand.New(rand.NewSource(int64(worker)*7919 + 1)),
+	}
+}
+
+type lockSession struct {
+	db     *DB
+	worker int
+	col    *stats.Collector
+	rng    *rand.Rand
+}
+
+// access is one row access of the running attempt.
+type access struct {
+	row     *storage.Row
+	req     *lock.Request
+	mode    lock.Mode
+	retired bool
+	// readImage is the pre-mutation image captured for the verifier.
+	readImage []byte
+}
+
+// AccessInfo is the verifier-visible view of one access of a committed
+// transaction.
+type AccessInfo struct {
+	Table string
+	Key   uint64
+	Mode  lock.Mode
+	// Read is the image observed (for EX: the pre-mutation image if
+	// CaptureReads was set, else nil).
+	Read []byte
+	// Wrote is the installed after-image (EX only).
+	Wrote []byte
+	// Dirty reports whether the observed image was uncommitted at grant.
+	Dirty bool
+}
+
+// lockTx implements Tx over the lock table.
+type lockTx struct {
+	s  *lockSession
+	t  *txn.Txn
+	db *DB
+
+	accesses []access
+	byRow    map[*storage.Row]int
+	inserts  []insertOp
+
+	declaredOps int
+	opIndex     int
+	lockWait    time.Duration
+	userAbort   bool
+}
+
+type insertOp struct {
+	tbl *storage.Table
+	key uint64
+	img []byte
+}
+
+// Worker implements Tx.
+func (tx *lockTx) Worker() int { return tx.s.worker }
+
+// ID implements Tx.
+func (tx *lockTx) ID() uint64 { return tx.t.ID }
+
+// DeclareOps implements Tx.
+func (tx *lockTx) DeclareOps(n int) { tx.declaredOps = n }
+
+// acquire obtains a lock with wait-time accounting.
+func (tx *lockTx) acquire(row *storage.Row, mode lock.Mode) (*lock.Request, error) {
+	start := time.Now()
+	req, err := tx.db.Lock.Acquire(tx.t, mode, &row.Entry)
+	tx.lockWait += time.Since(start)
+	return req, err
+}
+
+// Read implements Tx.
+func (tx *lockTx) Read(row *storage.Row) ([]byte, error) {
+	if row == nil {
+		return nil, fatalf("read of nil row")
+	}
+	if i, ok := tx.byRow[row]; ok {
+		return tx.accesses[i].req.Data, nil
+	}
+	req, err := tx.acquire(row, lock.SH)
+	if err != nil {
+		return nil, err
+	}
+	tx.opIndex++
+	tx.record(row, req, lock.SH)
+	return req.Data, nil
+}
+
+// Update implements Tx.
+func (tx *lockTx) Update(row *storage.Row, mutate func(img []byte)) error {
+	if row == nil {
+		return fatalf("update of nil row")
+	}
+	if i, ok := tx.byRow[row]; ok {
+		a := &tx.accesses[i]
+		if a.mode != lock.EX {
+			return errUpgrade
+		}
+		if a.retired {
+			return fatalf("second write to a retired row (table %s key %d); "+
+				"declare accesses so the last write is known (§3.3)",
+				row.Table.Schema.Name, row.Key)
+		}
+		mutate(a.req.Data)
+		return nil
+	}
+	req, err := tx.acquire(row, lock.EX)
+	if err != nil {
+		return err
+	}
+	tx.opIndex++
+	i := tx.record(row, req, lock.EX)
+	if tx.db.cfg.CaptureReads {
+		tx.accesses[i].readImage = bytes.Clone(req.Data)
+	}
+	mutate(req.Data)
+	if tx.shouldRetire() {
+		tx.db.Lock.Retire(req)
+		tx.accesses[i].retired = true
+	}
+	return nil
+}
+
+// shouldRetire applies Optimization 2 (paper §3.5): retire unless the
+// write falls in the last δ fraction of the transaction's declared
+// accesses. With no declaration every write retires — the paper's
+// interactive-mode behavior where each write is treated as the last.
+func (tx *lockTx) shouldRetire() bool {
+	cfg := &tx.db.cfg
+	if cfg.Variant != lock.Bamboo || !cfg.RetireWrites || cfg.ManualRetire {
+		return false
+	}
+	if cfg.Delta <= 0 || tx.declaredOps == 0 {
+		return true
+	}
+	cutoff := float64(tx.declaredOps) * (1 - cfg.Delta)
+	return float64(tx.opIndex) <= cutoff
+}
+
+// Retirer is implemented by transactions that support explicit retire
+// points (the lock engine). The §3.3 analysis interpreter type-asserts it
+// to place synthesized LockRetire calls.
+type Retirer interface {
+	// RetireRow retires this transaction's exclusive lock on row, making
+	// its dirty write visible. A no-op if the row is not write-locked by
+	// the transaction or already retired.
+	RetireRow(row *storage.Row)
+}
+
+// RetireRow implements Retirer.
+func (tx *lockTx) RetireRow(row *storage.Row) {
+	if tx.db.cfg.Variant != lock.Bamboo {
+		return
+	}
+	if i, ok := tx.byRow[row]; ok {
+		a := &tx.accesses[i]
+		if a.mode == lock.EX && !a.retired {
+			tx.db.Lock.Retire(a.req)
+			a.retired = true
+		}
+	}
+}
+
+// retireRemaining retires every unretired write; the adaptive part of
+// Optimization 2 invokes it when commit-waiting exceeds δ of execution.
+func (tx *lockTx) retireRemaining() {
+	for i := range tx.accesses {
+		a := &tx.accesses[i]
+		if a.mode == lock.EX && !a.retired {
+			tx.db.Lock.Retire(a.req)
+			a.retired = true
+		}
+	}
+}
+
+func (tx *lockTx) record(row *storage.Row, req *lock.Request, mode lock.Mode) int {
+	if tx.byRow == nil {
+		tx.byRow = make(map[*storage.Row]int, 16)
+	}
+	tx.accesses = append(tx.accesses, access{row: row, req: req, mode: mode})
+	i := len(tx.accesses) - 1
+	tx.byRow[row] = i
+	return i
+}
+
+// Insert implements Tx: inserts are buffered and applied at the commit
+// point, so aborting needs no index undo. The paper's workloads (TPC-C
+// new-order/payment) never read rows inserted by concurrent uncommitted
+// transactions, so deferred visibility preserves their semantics; phantom
+// protection via next-key locking (§3.4) is out of scope here.
+func (tx *lockTx) Insert(tbl *storage.Table, key uint64, img []byte) error {
+	if tbl == nil {
+		return fatalf("insert into nil table")
+	}
+	tx.inserts = append(tx.inserts, insertOp{tbl: tbl, key: key, img: img})
+	return nil
+}
+
+// rollback releases every lock with is_abort and drops buffered inserts.
+func (tx *lockTx) rollback() {
+	for i := range tx.accesses {
+		tx.db.Lock.Release(tx.accesses[i].req, true)
+	}
+	tx.t.FinishAbort()
+}
+
+// releaseCommitted releases every lock after the commit point.
+func (tx *lockTx) releaseCommitted() {
+	for i := range tx.accesses {
+		tx.db.Lock.Release(tx.accesses[i].req, false)
+	}
+}
+
+// Accesses returns the verifier view of the attempt's accesses.
+func (tx *lockTx) Accesses() []AccessInfo {
+	out := make([]AccessInfo, 0, len(tx.accesses))
+	for i := range tx.accesses {
+		a := &tx.accesses[i]
+		info := AccessInfo{
+			Table: a.row.Table.Schema.Name,
+			Key:   a.row.Key,
+			Mode:  a.mode,
+			Dirty: a.req.Dirty,
+		}
+		if a.mode == lock.EX {
+			info.Wrote = a.req.Data
+			info.Read = a.readImage
+		} else {
+			info.Read = a.req.Data
+		}
+		out = append(out, info)
+	}
+	return out
+}
+
+// OnCommitHook receives every committed lock-engine transaction when
+// installed on the DB via SetOnCommit; the verifier uses it. ts is the
+// transaction's priority timestamp at commit.
+type OnCommitHook func(worker int, txnID, ts uint64, accesses []AccessInfo, inserts int)
+
+// SetOnCommit installs a commit hook (testing/verification only; it runs
+// inside the commit critical path).
+func (db *DB) SetOnCommit(h OnCommitHook) { db.onCommit = h }
+
+// OnCommit returns the installed commit hook (nil if none). Alternate
+// engines (Silo, IC3) call it at their own commit points.
+func (db *DB) OnCommit() OnCommitHook { return db.onCommit }
+
+// Run implements Session: the transaction lifecycle of Algorithm 1.
+func (s *lockSession) Run(fn TxnFunc) error {
+	t := txn.New(s.db.NextTxnID())
+	cfg := &s.db.cfg
+	for {
+		if !cfg.DynamicTS && !t.HasTS() {
+			s.db.Lock.AssignTS(t)
+		}
+		tx := &lockTx{s: s, t: t, db: s.db}
+		attemptStart := time.Now()
+
+		err := fn(tx)
+
+		execTime := time.Since(attemptStart) - tx.lockWait
+		switch {
+		case err == nil && !t.Aborting():
+			// Proceed to commit below.
+		case errors.Is(err, ErrUserAbort):
+			t.SetCause(txn.CauseUser)
+			tx.rollback()
+			s.col.RecordAbort(txn.CauseUser, execTime, tx.lockWait, 0)
+			return nil // final: user aborts are not retried
+		case err == nil || isProtocolAbort(err):
+			cause := t.Cause()
+			if cause == txn.CauseNone {
+				cause = causeOf(err)
+			}
+			tx.rollback()
+			s.col.RecordAbort(cause, execTime, tx.lockWait, 0)
+			s.backoff()
+			t.Reset()
+			continue
+		default:
+			tx.rollback()
+			return err // programming error
+		}
+
+		// Wait for transactions this one depends on (commit_semaphore),
+		// adaptively retiring held-back writes if the wait exceeds δ of
+		// the execution time (Optimization 2's second half).
+		commitWait, ok := s.semWait(tx, execTime)
+		if !ok || !t.BeginCommit() {
+			cause := t.Cause()
+			tx.rollback()
+			s.col.RecordAbort(cause, execTime, tx.lockWait, commitWait)
+			s.backoff()
+			t.Reset()
+			continue
+		}
+		// Readers using Optimization 3 may have retroactively ordered
+		// themselves before this transaction's uncommitted writes in the
+		// race window between the semaphore check and the commit CAS.
+		// Waiting for such a holder here can deadlock (the holder may be
+		// blocked on one of our other locks), so back out voluntarily —
+		// nothing has been logged yet — and retry. External wounds still
+		// cannot abort a committing transaction; only the transaction
+		// itself may revert its commit decision.
+		if t.Sem() != 0 {
+			t.SetCause(txn.CauseWound)
+			tx.rollback()
+			s.col.RecordAbort(txn.CauseWound, execTime, tx.lockWait, commitWait)
+			// Jittered backoff breaks the symmetry with the reader that
+			// keeps re-taking the hold; without it the pair can chase
+			// each other for many rounds.
+			time.Sleep(time.Duration(s.rng.Int63n(int64(100 * time.Microsecond))))
+			t.Reset()
+			continue
+		}
+
+		// Commit point: log, apply inserts, release.
+		if rec := tx.commitRecord(); rec != nil {
+			if _, err := s.db.Log.Commit(rec); err != nil {
+				return fatalf("wal append: %v", err)
+			}
+		}
+		for _, ins := range tx.inserts {
+			if _, err := ins.tbl.InsertRow(ins.key, ins.img); err != nil {
+				return fatalf("apply insert: %v", err)
+			}
+		}
+		if h := s.db.onCommit; h != nil {
+			h(s.worker, t.ID, t.TS(), tx.Accesses(), len(tx.inserts))
+		}
+		tx.releaseCommitted()
+		t.FinishCommit()
+		s.col.RecordCommit(execTime, tx.lockWait, commitWait)
+		return nil
+	}
+}
+
+// semWait spins until the commit semaphore drains (Algorithm 1 lines
+// 4–5), returning false if the transaction was aborted while waiting.
+func (s *lockSession) semWait(tx *lockTx, execTime time.Duration) (time.Duration, bool) {
+	t := tx.t
+	if t.Sem() == 0 && !t.Aborting() {
+		return 0, !t.Aborting()
+	}
+	start := time.Now()
+	delta := s.db.cfg.Delta
+	adaptiveDone := delta <= 0
+	threshold := time.Duration(float64(execTime) * delta)
+	for i := 0; ; i++ {
+		if t.Aborting() {
+			return time.Since(start), false
+		}
+		if t.Sem() == 0 {
+			return time.Since(start), true
+		}
+		if !adaptiveDone && time.Since(start) > threshold {
+			tx.retireRemaining()
+			adaptiveDone = true
+		}
+		lock.Backoff(i)
+	}
+}
+
+// commitRecord builds the WAL record for the attempt (nil if read-only).
+func (tx *lockTx) commitRecord() *wal.Record {
+	var writes []wal.Write
+	for i := range tx.accesses {
+		a := &tx.accesses[i]
+		if a.mode == lock.EX {
+			writes = append(writes, wal.Write{
+				Table: a.row.Table.Schema.Name,
+				Key:   a.row.Key,
+				Image: a.req.Data,
+			})
+		}
+	}
+	for _, ins := range tx.inserts {
+		writes = append(writes, wal.Write{Table: ins.tbl.Schema.Name, Key: ins.key, Image: ins.img})
+	}
+	if len(writes) == 0 {
+		return nil
+	}
+	return &wal.Record{TxnID: tx.t.ID, Writes: writes}
+}
+
+func (s *lockSession) backoff() {
+	max := s.db.cfg.AbortBackoffMax
+	if max <= 0 {
+		return
+	}
+	time.Sleep(time.Duration(s.rng.Int63n(int64(max))))
+}
+
+// isProtocolAbort reports whether err is one of the lock manager's abort
+// requests (retryable).
+func isProtocolAbort(err error) bool {
+	return errors.Is(err, lock.ErrWound) || errors.Is(err, lock.ErrDie) ||
+		errors.Is(err, lock.ErrNoWait) || errors.Is(err, lock.ErrAborting)
+}
+
+func causeOf(err error) txn.AbortCause {
+	switch {
+	case errors.Is(err, lock.ErrDie):
+		return txn.CauseDie
+	case errors.Is(err, lock.ErrNoWait):
+		return txn.CauseDie
+	case errors.Is(err, lock.ErrWound), errors.Is(err, lock.ErrAborting):
+		return txn.CauseWound
+	default:
+		return txn.CauseNone
+	}
+}

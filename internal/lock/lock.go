@@ -1,0 +1,270 @@
+// Package lock implements the pluggable lock table at the core of this
+// reproduction: a per-tuple lock entry with the three lists of the Bamboo
+// paper's Figure 2 (owners, waiters, and — Bamboo only — retired), plus a
+// Manager that implements four 2PL deadlock-handling variants behind one
+// interface:
+//
+//   - NoWait    — any conflict aborts the requester immediately;
+//   - WaitDie   — older requesters wait, younger self-abort;
+//   - WoundWait — younger holders are wounded, otherwise the requester waits;
+//   - Bamboo    — WoundWait plus early lock retiring (the paper's §3.2
+//     Algorithm 2), dirty reads, commit-semaphore dependency
+//     tracking and cascading aborts.
+//
+// The entry also owns the tuple's data image. Installed images are treated
+// as immutable: writers mutate a private copy and publish it with a pointer
+// swap at retire (Bamboo) or commit (2PL), so readers can hold references
+// without copying and aborts restore pre-images by swapping pointers back.
+package lock
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"bamboo/internal/txn"
+)
+
+// Mode is a lock mode.
+type Mode uint8
+
+const (
+	// SH is a shared (read) lock.
+	SH Mode = iota
+	// EX is an exclusive (write) lock.
+	EX
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	if m == SH {
+		return "SH"
+	}
+	return "EX"
+}
+
+// Conflict reports whether two lock modes conflict: everything conflicts
+// with EX, SH is compatible with SH.
+func Conflict(a, b Mode) bool { return a == EX || b == EX }
+
+// Variant selects the deadlock-handling discipline of a Manager.
+type Variant uint8
+
+const (
+	// NoWait aborts the requester on any conflict.
+	NoWait Variant = iota
+	// WaitDie lets older transactions wait and aborts younger requesters.
+	WaitDie
+	// WoundWait aborts younger lock holders and lets younger requesters wait.
+	WoundWait
+	// Bamboo is WoundWait extended with lock retiring (the paper's protocol).
+	Bamboo
+)
+
+// String implements fmt.Stringer.
+func (v Variant) String() string {
+	switch v {
+	case NoWait:
+		return "NO_WAIT"
+	case WaitDie:
+		return "WAIT_DIE"
+	case WoundWait:
+		return "WOUND_WAIT"
+	case Bamboo:
+		return "BAMBOO"
+	default:
+		return fmt.Sprintf("variant(%d)", uint8(v))
+	}
+}
+
+// Sentinel errors returned by Acquire. Each maps to an abort cause; the
+// caller rolls the transaction back and retries.
+var (
+	// ErrWound means this transaction was wounded by a higher-priority
+	// transaction (possibly while waiting for this very lock).
+	ErrWound = errors.New("lock: wounded by higher-priority transaction")
+	// ErrDie means the Wait-Die rule requires the requester to self-abort.
+	ErrDie = errors.New("lock: wait-die self-abort")
+	// ErrNoWait means the No-Wait rule requires the requester to self-abort.
+	ErrNoWait = errors.New("lock: no-wait conflict")
+	// ErrAborting means the transaction was already marked aborting when it
+	// requested the lock (e.g. a cascading abort landed between operations).
+	ErrAborting = errors.New("lock: transaction already aborting")
+)
+
+// reqState is the lifecycle of a single lock request.
+type reqState int32
+
+const (
+	reqWaiting  reqState = iota
+	reqOwner             // granted, in owners
+	reqRetired           // granted, in retired (Bamboo)
+	reqDropped           // removed from waiters because the txn is aborting
+	reqReleased          // terminal
+)
+
+// Request is one transaction's lock request on one entry. It doubles as
+// the access handle: the granted data image (Data), the pre-image saved at
+// install time (prev) and the commit-semaphore bookkeeping live here.
+type Request struct {
+	Txn  *txn.Txn
+	Mode Mode
+
+	// Data is the data image visible to this request once granted. For SH
+	// it references an installed (immutable) image; for EX it is a private
+	// mutable copy that will be installed at retire or commit.
+	Data []byte
+
+	// Dirty reports whether the image read by this request was produced by
+	// a transaction that had not committed at grant time.
+	Dirty bool
+
+	entry      *Entry
+	state      atomic.Int32
+	semHeld    bool   // this request holds one commit_semaphore increment
+	installed  bool   // EX image has been published into the entry
+	installSeq uint64 // never-reused sequence number of the install
+	unwound    bool   // a predecessor's abort rewound past this install
+	prev       []byte // image replaced at install (for abort restore)
+}
+
+// State snapshot helpers (the canonical state lives behind the entry latch;
+// these atomics let waiters poll without the latch).
+
+func (r *Request) stateLoad() reqState { return reqState(r.state.Load()) }
+
+// Granted reports whether the request currently holds the lock (as owner
+// or retired).
+func (r *Request) Granted() bool {
+	s := r.stateLoad()
+	return s == reqOwner || s == reqRetired
+}
+
+// Retired reports whether the request is in the retired list.
+func (r *Request) Retired() bool { return r.stateLoad() == reqRetired }
+
+// Entry is the per-tuple lock entry of Figure 2 plus the tuple's data
+// image and a version counter used to make abort restores idempotent.
+//
+// The zero value is NOT ready to use: initialize Data with Init (or leave
+// nil for keyless tuples).
+type Entry struct {
+	latch sync.Mutex
+
+	// Data is the newest installed image (possibly dirty under Bamboo).
+	// Guarded by latch for the lock-based protocols.
+	Data []byte
+
+	// seq hands out never-reused install sequence numbers; cur is the
+	// sequence position of the image currently in Data (restores rewind
+	// cur but never seq, so a stale install can always be told apart from
+	// a fresh one). Guarded by latch.
+	seq uint64
+	cur uint64
+
+	retired []*Request // sorted by ascending timestamp
+	owners  []*Request // mutually compatible
+	waiters []*Request // sorted by ascending timestamp
+}
+
+// Init sets the initial committed image.
+func (e *Entry) Init(data []byte) { e.Data = data }
+
+// Snapshot returns the sizes of the three lists; used by tests and stats.
+func (e *Entry) Snapshot() (retired, owners, waiters int) {
+	e.latch.Lock()
+	defer e.latch.Unlock()
+	return len(e.retired), len(e.owners), len(e.waiters)
+}
+
+// CurrentData returns the newest installed image under the latch. Intended
+// for tests and for single-threaded inspection.
+func (e *Entry) CurrentData() []byte {
+	e.latch.Lock()
+	defer e.latch.Unlock()
+	return e.Data
+}
+
+// remove deletes r from list, returning the new slice and whether found.
+func remove(list []*Request, r *Request) ([]*Request, bool) {
+	for i, x := range list {
+		if x == r {
+			return append(list[:i], list[i+1:]...), true
+		}
+	}
+	return list, false
+}
+
+// insertByTS inserts r into a timestamp-sorted list.
+func insertByTS(list []*Request, r *Request) []*Request {
+	ts := r.Txn.TS()
+	i := len(list)
+	for j, x := range list {
+		if x.Txn.TS() > ts {
+			i = j
+			break
+		}
+	}
+	list = append(list, nil)
+	copy(list[i+1:], list[i:])
+	list[i] = r
+	return list
+}
+
+// CheckInvariants verifies structural invariants of the entry under the
+// latch; tests call it after randomized histories. It returns an error
+// describing the first violation found.
+func (e *Entry) CheckInvariants() error {
+	e.latch.Lock()
+	defer e.latch.Unlock()
+	// owners must be mutually compatible.
+	for i, a := range e.owners {
+		for _, b := range e.owners[i+1:] {
+			if Conflict(a.Mode, b.Mode) {
+				return fmt.Errorf("owners %s and %s conflict", a.Txn, b.Txn)
+			}
+		}
+	}
+	// retired must be timestamp-sorted (waiters are sorted for all
+	// variants except Wait-Die, which uses FIFO order; the entry does not
+	// know its manager's variant, so only retired is checked here).
+	for i := 1; i < len(e.retired); i++ {
+		if e.retired[i-1].Txn.TS() > e.retired[i].Txn.TS() {
+			return fmt.Errorf("retired not sorted at %d", i)
+		}
+	}
+	// request states must match list membership.
+	for _, r := range e.retired {
+		if r.stateLoad() != reqRetired {
+			return fmt.Errorf("retired list holds request in state %d", r.stateLoad())
+		}
+	}
+	for _, r := range e.owners {
+		if r.stateLoad() != reqOwner {
+			return fmt.Errorf("owners list holds request in state %d", r.stateLoad())
+		}
+	}
+	return nil
+}
+
+// DebugString renders the entry's lists with transaction details; used by
+// tests to diagnose stalls.
+func (e *Entry) DebugString() string {
+	e.latch.Lock()
+	defer e.latch.Unlock()
+	var b strings.Builder
+	dump := func(name string, list []*Request) {
+		fmt.Fprintf(&b, "  %s:", name)
+		for _, r := range list {
+			fmt.Fprintf(&b, " {%s %s sem=%d st=%d semHeld=%v inst=%v unw=%v}",
+				r.Mode, r.Txn, r.Txn.Sem(), r.stateLoad(), r.semHeld, r.installed, r.unwound)
+		}
+		b.WriteString("\n")
+	}
+	dump("retired", e.retired)
+	dump("owners", e.owners)
+	dump("waiters", e.waiters)
+	return b.String()
+}

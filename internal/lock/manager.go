@@ -1,0 +1,693 @@
+package lock
+
+import (
+	"bytes"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"bamboo/internal/txn"
+)
+
+// Config selects a Manager's protocol variant and, for Bamboo, the
+// optimization toggles of paper §3.5. The zero value is plain No-Wait.
+type Config struct {
+	Variant Variant
+
+	// RetireReads (Optimization 1) moves shared locks straight into the
+	// retired list at grant time, inside the same critical section, so
+	// reads never need a second latch acquisition to retire.
+	RetireReads bool
+
+	// NoWoundRead (Optimization 3) makes shared requests never wound:
+	// instead of aborting conflicting writers the reader is inserted into
+	// the retired list at its timestamp position and reads the data
+	// version belonging to that position (possibly a pre-image of a
+	// younger uncommitted writer). Readers then only ever wait for
+	// *older* exclusive owners, which preserves the invariant that every
+	// wait/dependency edge points from a younger to an older timestamp.
+	NoWoundRead bool
+
+	// DynamicTS (Optimization 4) defers timestamp assignment to a
+	// transaction's first conflict (Algorithm 3).
+	DynamicTS bool
+
+	// OnWound, if non-nil, is called once per transaction newly wounded by
+	// an Acquire on this manager.
+	OnWound func()
+
+	// OnCascade, if non-nil, is called with the number of transactions
+	// newly aborted by one cascading abort (the paper's abort chain
+	// length metric, §4.2).
+	OnCascade func(chain int)
+}
+
+// Manager implements lock acquisition, retiring and release for one of the
+// four protocol variants. A Manager is shared by all entries of a database
+// instance and is safe for concurrent use.
+type Manager struct {
+	cfg       Config
+	tsCounter atomic.Uint64
+}
+
+// NewManager returns a manager with the given configuration.
+// Optimization 3 requires the positioned-read machinery of Optimization 1,
+// so NoWoundRead implies RetireReads.
+func NewManager(cfg Config) *Manager {
+	if cfg.NoWoundRead {
+		cfg.RetireReads = true
+	}
+	return &Manager{cfg: cfg}
+}
+
+// Variant returns the configured protocol variant.
+func (m *Manager) Variant() Variant { return m.cfg.Variant }
+
+// DynamicTS reports whether dynamic timestamp assignment is enabled.
+func (m *Manager) DynamicTS() bool { return m.cfg.DynamicTS }
+
+// NextTS draws the next timestamp from the manager's global counter.
+// Executors call this at transaction start when DynamicTS is off.
+func (m *Manager) NextTS() uint64 { return m.tsCounter.Add(1) }
+
+// AssignTS assigns a start timestamp to t (static assignment mode).
+func (m *Manager) AssignTS(t *txn.Txn) { t.SetTS(m.NextTS()) }
+
+// Acquire requests a lock of the given mode on entry e for transaction t,
+// blocking until granted or until the variant's deadlock-prevention rule
+// decides the transaction must abort. On success the returned Request
+// carries the data image visible to the transaction.
+func (m *Manager) Acquire(t *txn.Txn, mode Mode, e *Entry) (*Request, error) {
+	if t.Aborting() {
+		return nil, ErrAborting
+	}
+	r := &Request{Txn: t, Mode: mode, entry: e}
+
+	e.latch.Lock()
+	if m.cfg.DynamicTS {
+		m.assignOnConflictLocked(t, mode, e)
+	}
+
+	switch m.cfg.Variant {
+	case NoWait:
+		if m.conflictsWithHolders(e, mode) {
+			e.latch.Unlock()
+			return nil, ErrNoWait
+		}
+	case WaitDie:
+		// Older transactions wait; younger requesters die. The check must
+		// cover waiters as well as owners: Wait-Die queues are FIFO (an
+		// older transaction cutting ahead of a younger waiter — fine under
+		// Wound-Wait, where wounds break the resulting cycles — deadlocks
+		// under Wait-Die), so a requester will wait behind every already
+		// queued conflicting transaction and must be older than all of
+		// them.
+		die := false
+		for _, h := range holders(e) {
+			if Conflict(mode, h.Mode) && h.Txn.TS() < t.TS() {
+				die = true
+				break
+			}
+		}
+		if !die {
+			for _, w := range e.waiters {
+				if Conflict(mode, w.Mode) && w.Txn.TS() < t.TS() {
+					die = true
+					break
+				}
+			}
+		}
+		if die {
+			e.latch.Unlock()
+			return nil, ErrDie
+		}
+	case WoundWait:
+		m.woundLocked(t, mode, e)
+	case Bamboo:
+		if mode == SH && m.cfg.NoWoundRead {
+			// Optimization 3: reads never wound. If no conflicting *older*
+			// owner or waiter exists, try to grant immediately into the
+			// retired list at the reader's timestamp position; younger
+			// uncommitted writers the reader bypasses are retroactively
+			// commit-ordered after it (see grantLocked). The grant can
+			// fail if such a writer is already past its commit point, in
+			// which case the reader queues briefly until it drains.
+			if !m.olderConflicting(e, t, mode) && m.grantLocked(e, r) {
+				e.latch.Unlock()
+				return r, nil
+			}
+			// Otherwise wait (without wounding).
+		} else {
+			m.woundLocked(t, mode, e)
+		}
+	}
+
+	if m.cfg.Variant == WaitDie {
+		// FIFO: with the admission rule above, queue order is oldest-last
+		// and every wait edge points from an older to a younger
+		// transaction, which keeps Wait-Die deadlock-free.
+		e.waiters = append(e.waiters, r)
+	} else {
+		e.waiters = insertByTS(e.waiters, r)
+	}
+	m.promoteWaiters(e)
+	granted := r.Granted()
+	e.latch.Unlock()
+	if granted {
+		return r, nil
+	}
+	return m.waitGranted(r)
+}
+
+// Retire moves t's exclusive lock from owners to retired (LockRetire in
+// Algorithm 2), publishing the transaction's private image as the entry's
+// newest — dirty — version so that successors may read it. Retiring a
+// shared lock is also permitted (it is a no-op on the data image).
+// Retire is optional: if never called, Bamboo degenerates to Wound-Wait.
+func (m *Manager) Retire(r *Request) {
+	e := r.entry
+	e.latch.Lock()
+	defer e.latch.Unlock()
+	if r.stateLoad() != reqOwner {
+		return // dropped, already retired, or released
+	}
+	if m.cfg.DynamicTS {
+		// Entries in the retired list must carry a timestamp so that
+		// future conflicts can be ordered against them.
+		r.Txn.AssignTSIfUnassigned(&m.tsCounter)
+	}
+	if r.Mode == EX {
+		e.seq++
+		r.installSeq = e.seq
+		r.prev = e.Data
+		e.Data = r.Data
+		e.cur = r.installSeq
+		r.installed = true
+	}
+	e.owners, _ = remove(e.owners, r)
+	e.retired = insertByTS(e.retired, r)
+	r.state.Store(int32(reqRetired))
+	m.promoteWaiters(e)
+}
+
+// Release removes the request from the entry (LockRelease in Algorithm 2).
+// With isAbort set and an exclusive mode it triggers cascading aborts of
+// every transaction positioned after r in retired∪owners, and restores the
+// entry's data image to r's pre-image. With isAbort unset it publishes a
+// not-yet-installed exclusive image (the 2PL commit path). In all cases it
+// then notifies transactions whose dependencies became clear and promotes
+// waiters.
+func (m *Manager) Release(r *Request, isAbort bool) {
+	e := r.entry
+	e.latch.Lock()
+	defer e.latch.Unlock()
+	m.releaseLocked(e, r, isAbort)
+}
+
+func (m *Manager) releaseLocked(e *Entry, r *Request, isAbort bool) {
+	st := r.stateLoad()
+	switch st {
+	case reqDropped, reqReleased:
+		return
+	case reqWaiting:
+		e.waiters, _ = remove(e.waiters, r)
+		r.state.Store(int32(reqReleased))
+		return
+	}
+
+	if isAbort && r.Mode == EX && st == reqRetired {
+		// Cascading aborts: all transactions after r in retired∪owners
+		// have (directly or transitively) observed r's dirty write.
+		chain := 0
+		seen := false
+		for _, x := range e.retired {
+			if x == r {
+				seen = true
+				continue
+			}
+			if seen && x.Txn.SetAbort(txn.CauseCascade) {
+				chain++
+			}
+		}
+		if seen {
+			for _, x := range e.owners {
+				if x.Txn.SetAbort(txn.CauseCascade) {
+					chain++
+				}
+			}
+		}
+		if chain > 0 && m.cfg.OnCascade != nil {
+			m.cfg.OnCascade(chain)
+		}
+	}
+
+	if r.Mode == EX {
+		if isAbort {
+			// Sequence-guarded restore: cascaded aborts arrive in
+			// arbitrary order but always form a suffix of the exclusive
+			// chain. Rewind to r's pre-image unless a predecessor's abort
+			// already rewound past r's install (then r's image is gone
+			// and r was marked unwound). Rewinding marks every later,
+			// still-present install as unwound so it never restores a
+			// dead image later.
+			if r.installed && !r.unwound && e.cur >= r.installSeq {
+				e.Data = r.prev
+				e.cur = r.installSeq - 1
+				for _, x := range e.retired {
+					if x != r && x.installed && x.installSeq > r.installSeq {
+						x.unwound = true
+					}
+				}
+			}
+		} else if !r.installed {
+			// 2PL (or non-retired Bamboo write): publish at commit.
+			e.seq++
+			e.cur = e.seq
+			e.Data = r.Data
+		}
+	}
+
+	if st == reqRetired {
+		e.retired, _ = remove(e.retired, r)
+	} else {
+		e.owners, _ = remove(e.owners, r)
+	}
+	if r.semHeld {
+		// The request leaves with an unresolved dependency (abort path);
+		// give the increment back so the semaphore stays balanced.
+		r.semHeld = false
+		r.Txn.SemDecr()
+	}
+	r.state.Store(int32(reqReleased))
+
+	if m.cfg.Variant == Bamboo {
+		m.notifyHeads(e)
+	}
+	m.promoteWaiters(e)
+}
+
+// woundLocked applies the Wound-Wait rule over retired∪owners exactly as
+// in Algorithm 2 lines 2–7: once a conflict has been seen, every
+// lower-priority (younger) transaction at or after the conflict point is
+// wounded.
+func (m *Manager) woundLocked(t *txn.Txn, mode Mode, e *Entry) {
+	ts := t.TS()
+	hasConflict := false
+	wound := func(r *Request) {
+		if Conflict(mode, r.Mode) {
+			hasConflict = true
+		}
+		if hasConflict && ts < r.Txn.TS() {
+			if r.Txn.SetAbort(txn.CauseWound) && m.cfg.OnWound != nil {
+				m.cfg.OnWound()
+			}
+		}
+	}
+	for _, r := range e.retired {
+		wound(r)
+	}
+	for _, r := range e.owners {
+		wound(r)
+	}
+}
+
+// olderConflicting reports whether a conflicting request with a strictly
+// smaller timestamp than t exists among owners or waiters. Used by the
+// Optimization-3 read path: such a request must be waited for (it will
+// install a version the reader has to see), whereas younger writers can be
+// bypassed by reading the pre-image at the reader's position.
+func (m *Manager) olderConflicting(e *Entry, t *txn.Txn, mode Mode) bool {
+	ts := t.TS()
+	for _, r := range e.owners {
+		if Conflict(mode, r.Mode) && r.Txn.TS() < ts {
+			return true
+		}
+	}
+	for _, r := range e.waiters {
+		if Conflict(mode, r.Mode) && r.Txn.TS() < ts {
+			return true
+		}
+	}
+	return false
+}
+
+func holders(e *Entry) []*Request {
+	if len(e.retired) == 0 {
+		return e.owners
+	}
+	hs := make([]*Request, 0, len(e.retired)+len(e.owners))
+	hs = append(hs, e.retired...)
+	hs = append(hs, e.owners...)
+	return hs
+}
+
+func (m *Manager) conflictsWithHolders(e *Entry, mode Mode) bool {
+	for _, r := range holders(e) {
+		if Conflict(mode, r.Mode) {
+			return true
+		}
+	}
+	return false
+}
+
+func conflictsWithOwners(e *Entry, mode Mode) bool {
+	for _, r := range e.owners {
+		if Conflict(mode, r.Mode) {
+			return true
+		}
+	}
+	return false
+}
+
+// promoteWaiters implements PromoteWaiters of Algorithm 2: scan waiters in
+// ascending timestamp order, granting each that does not conflict with the
+// current owners, stopping at the first conflict. Waiters whose
+// transactions are already aborting are dropped.
+func (m *Manager) promoteWaiters(e *Entry) {
+	for len(e.waiters) > 0 {
+		w := e.waiters[0]
+		if w.Txn.Aborting() {
+			e.waiters = e.waiters[1:]
+			w.state.Store(int32(reqDropped))
+			continue
+		}
+		if conflictsWithOwners(e, w.Mode) {
+			break
+		}
+		// A non-positioned grant reads the entry's newest image, so it
+		// must not consume a version installed by a *younger* conflicting
+		// retiree: that writer is necessarily doomed (it was wounded when
+		// the older waiter arrived, or this waiter could not have been
+		// admitted), and granting now would let the consumer retire ahead
+		// of its source in timestamp order, escaping both the cascade
+		// ("abort everything after me") and the sequence-guarded restore.
+		// Positioned shared grants (Optimization 1) are exempt: they read
+		// the version belonging to their timestamp slot.
+		positioned := m.cfg.Variant == Bamboo && w.Mode == SH && m.cfg.RetireReads
+		if !positioned && m.cfg.Variant == Bamboo && youngerConflictingRetired(e, w) {
+			break
+		}
+		if !m.grantLocked(e, w) {
+			// A bypassed writer is mid-commit; retry after it drains.
+			break
+		}
+		e.waiters = e.waiters[1:]
+	}
+}
+
+// youngerConflictingRetired reports whether a conflicting retiree exists
+// that is either younger than w's transaction or already doomed. Waiting
+// for such retirees to drain (they are aborting, or were wounded the
+// moment the older waiter arrived) keeps every dependency edge pointing
+// from an older to a younger timestamp and keeps a fresh grant from
+// basing its read-modify-write on a dead image.
+func youngerConflictingRetired(e *Entry, w *Request) bool {
+	ts := w.Txn.TS()
+	for _, x := range e.retired {
+		if !Conflict(x.Mode, w.Mode) {
+			continue
+		}
+		if x.Txn.TS() > ts || x.unwound || x.Txn.Aborting() {
+			return true
+		}
+	}
+	return false
+}
+
+// grantLocked makes r a lock holder, returning false if the grant must be
+// retried later. For Bamboo shared requests with RetireReads the request
+// goes straight into the retired list at its timestamp position and reads
+// the version belonging to that position; otherwise the request joins
+// owners with the newest image (a private mutable copy for EX). Bamboo
+// increments the commit semaphore when the new holder conflicts with a
+// retired transaction (Algorithm 2, lines 29–30).
+func (m *Manager) grantLocked(e *Entry, r *Request) bool {
+	if m.cfg.Variant == Bamboo && r.Mode == SH && m.cfg.RetireReads {
+		if m.cfg.DynamicTS {
+			r.Txn.AssignTSIfUnassigned(&m.tsCounter)
+		}
+		pos := retiredPos(e, r.Txn.TS())
+		if !m.orderSuccessorsLocked(e, pos, r) {
+			return false
+		}
+		r.Data = versionAt(e, pos)
+		r.Dirty = exBefore(e, pos)
+		if r.Dirty {
+			// The version read was produced by an uncommitted writer:
+			// commit-order after it (paper §3.2.1).
+			r.semHeld = true
+			r.Txn.SemIncr()
+		}
+		e.retired = insertAt(e.retired, pos, r)
+		r.state.Store(int32(reqRetired))
+		return true
+	}
+
+	if m.cfg.Variant == Bamboo {
+		for _, x := range e.retired {
+			if Conflict(x.Mode, r.Mode) {
+				r.semHeld = true
+				r.Txn.SemIncr()
+				break
+			}
+		}
+	}
+	dirty := false
+	for _, x := range e.retired {
+		if x.Mode == EX {
+			dirty = true
+			break
+		}
+	}
+	r.Dirty = dirty
+	if r.Mode == EX {
+		r.Data = bytes.Clone(e.Data)
+	} else {
+		r.Data = e.Data
+	}
+	e.owners = append(e.owners, r)
+	r.state.Store(int32(reqOwner))
+	return true
+}
+
+// orderSuccessorsLocked retroactively commit-orders every live conflicting
+// request positioned after pos (the retired tail plus conflicting owners)
+// behind the reader about to be inserted at pos: each such successor must
+// hold a commit-semaphore increment so it cannot reach its commit point
+// before the reader leaves, or the rw anti-dependency (reader before
+// writer in the version order) would not imply commit-point ordering and
+// Lemma 1 would break.
+//
+// It returns false when a successor is already past its commit point —
+// too late to order it — in which case the reader must wait for it to
+// drain. A successor racing into its commit point after the increment is
+// handled on the committing side: transactions re-check their semaphore
+// once after winning the commit CAS and wait for retroactive holders to
+// leave before logging.
+func (m *Manager) orderSuccessorsLocked(e *Entry, pos int, r *Request) bool {
+	var targets []*Request
+	for _, x := range e.retired[pos:] {
+		if Conflict(x.Mode, r.Mode) {
+			targets = append(targets, x)
+		}
+	}
+	for _, x := range e.owners {
+		if Conflict(x.Mode, r.Mode) {
+			targets = append(targets, x)
+		}
+	}
+	for _, x := range targets {
+		if s := x.Txn.State(); s == txn.StateCommitting || s == txn.StateCommitted {
+			return false
+		}
+	}
+	var applied []*Request
+	for _, x := range targets {
+		if x.semHeld || x.Txn.Aborting() {
+			continue // already ordered behind a predecessor, or doomed
+		}
+		x.semHeld = true
+		x.Txn.SemIncr()
+		if s := x.Txn.State(); s == txn.StateCommitting || s == txn.StateCommitted {
+			// Lost the race: undo and let the reader wait instead.
+			for _, y := range applied {
+				y.semHeld = false
+				y.Txn.SemDecr()
+			}
+			x.semHeld = false
+			x.Txn.SemDecr()
+			return false
+		}
+		applied = append(applied, x)
+	}
+	return true
+}
+
+// retiredPos returns the timestamp-sorted insertion position in retired.
+func retiredPos(e *Entry, ts uint64) int {
+	for i, x := range e.retired {
+		if x.Txn.TS() > ts {
+			return i
+		}
+	}
+	return len(e.retired)
+}
+
+func insertAt(list []*Request, i int, r *Request) []*Request {
+	list = append(list, nil)
+	copy(list[i+1:], list[i:])
+	list[i] = r
+	return list
+}
+
+// versionAt returns the data image a reader positioned at index pos of the
+// retired list must observe: the image installed by the nearest preceding
+// exclusive retiree, or — if none — the pre-image of the first exclusive
+// retiree at or after pos, or the entry's current image when no
+// uncommitted installs exist.
+func versionAt(e *Entry, pos int) []byte {
+	// Nearest exclusive install before pos: its image is the version at
+	// this slot. (If that writer is doomed, a reader here is doomed with
+	// it — the read stays consistent and the cascade covers the reader.)
+	for i := pos - 1; i >= 0; i-- {
+		if x := e.retired[i]; x.Mode == EX {
+			return x.Data
+		}
+	}
+	// No exclusive install precedes pos: the version here is the image
+	// from before the first *live* install at or after pos. Unwound
+	// installs are skipped — their pre-images point into an abort-rewound
+	// chain that no longer exists.
+	for i := pos; i < len(e.retired); i++ {
+		if x := e.retired[i]; x.Mode == EX && !x.unwound {
+			return x.prev
+		}
+	}
+	return e.Data
+}
+
+// exBefore reports whether an exclusive retiree precedes position pos.
+func exBefore(e *Entry, pos int) bool {
+	for i := pos - 1; i >= 0; i-- {
+		if e.retired[i].Mode == EX {
+			return true
+		}
+	}
+	return false
+}
+
+// notifyHeads recomputes the heads — the leading mutually-compatible
+// prefix of retired∪owners — and clears the dependency of every head that
+// still holds a commit-semaphore increment. Called after each removal;
+// this subsumes Algorithm 2's "old head departed and conflicted with the
+// new head" condition and also handles removals from the middle of the
+// list (e.g. wounded transactions).
+func (m *Manager) notifyHeads(e *Entry) {
+	anySH, anyEX := false, false
+	visit := func(r *Request) bool {
+		if anyEX || (anySH && r.Mode == EX) {
+			return false
+		}
+		if r.semHeld {
+			r.semHeld = false
+			r.Txn.SemDecr()
+		}
+		if r.Mode == EX {
+			anyEX = true
+		} else {
+			anySH = true
+		}
+		return true
+	}
+	for _, r := range e.retired {
+		if !visit(r) {
+			return
+		}
+	}
+	for _, r := range e.owners {
+		if !visit(r) {
+			return
+		}
+	}
+}
+
+// assignOnConflictLocked implements Algorithm 3: when the incoming request
+// conflicts with any transaction already on the entry, assign timestamps
+// to every transaction in the three lists (in list order) and then to the
+// requester.
+func (m *Manager) assignOnConflictLocked(t *txn.Txn, mode Mode, e *Entry) {
+	conflict := false
+	scan := func(list []*Request) {
+		for _, r := range list {
+			if Conflict(mode, r.Mode) {
+				conflict = true
+				return
+			}
+		}
+	}
+	scan(e.retired)
+	if !conflict {
+		scan(e.owners)
+	}
+	if !conflict {
+		scan(e.waiters)
+	}
+	if !conflict {
+		return
+	}
+	for _, r := range e.retired {
+		r.Txn.AssignTSIfUnassigned(&m.tsCounter)
+	}
+	for _, r := range e.owners {
+		r.Txn.AssignTSIfUnassigned(&m.tsCounter)
+	}
+	for _, r := range e.waiters {
+		r.Txn.AssignTSIfUnassigned(&m.tsCounter)
+	}
+	t.AssignTSIfUnassigned(&m.tsCounter)
+}
+
+// waitGranted spins until the request is granted, the request is dropped,
+// or the transaction is marked aborting. It mirrors DBx1000's pause loop:
+// a short Gosched phase followed by escalating sleeps so oversubscribed
+// hosts do not burn cores.
+func (m *Manager) waitGranted(r *Request) (*Request, error) {
+	for i := 0; ; i++ {
+		switch r.stateLoad() {
+		case reqOwner, reqRetired:
+			return r, nil
+		case reqDropped:
+			return nil, ErrWound
+		}
+		if r.Txn.Aborting() {
+			e := r.entry
+			e.latch.Lock()
+			switch r.stateLoad() {
+			case reqWaiting:
+				e.waiters, _ = remove(e.waiters, r)
+				r.state.Store(int32(reqDropped))
+			case reqOwner, reqRetired:
+				// Granted concurrently with the wound: give the lock
+				// straight back so the caller sees a clean abort.
+				m.releaseLocked(e, r, true)
+			}
+			e.latch.Unlock()
+			return nil, ErrWound
+		}
+		Backoff(i)
+	}
+}
+
+// Backoff yields the processor, escalating from busy yields to short
+// sleeps. Exported for use by the executor's commit-semaphore wait loop.
+func Backoff(i int) {
+	if i < 64 {
+		runtime.Gosched()
+		return
+	}
+	shift := (i - 64) / 64
+	if shift > 5 {
+		shift = 5
+	}
+	time.Sleep(time.Microsecond << uint(shift))
+}

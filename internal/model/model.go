@@ -1,0 +1,93 @@
+// Package model implements the analytical throughput model of the paper's
+// §4.2, which predicts when Bamboo's reduction in lock-wait time outweighs
+// the cost of cascading aborts.
+//
+// With K lock requests per transaction, N concurrent transactions, D data
+// items and t the time between lock requests, throughput is proportional
+// to
+//
+//	N/((K+1)·t) · (1 − A·P_conflict − B·P_abort)
+//
+// where A is the waiting fraction given a conflict and B the fraction of
+// time spent on aborted execution. The paper approximates
+//
+//	P_conflict ≈ N·K²/(2D)
+//	P_deadlock ≈ N·K⁴/(4D²)
+//	A_ww ≈ 1/2            (wait half the transaction)
+//	A_bb ≈ 1/(K+1)        (wait one access)
+//	P_cas_abort ≤ N·P_conflict·P_deadlock
+//
+// and Bamboo wins when (A_ww − A_bb)·P_conflict > B·P_cas_abort, which
+// reduces to N²K⁴/(2D²) < (K−1)/(K+1).
+package model
+
+import "math"
+
+// Params are the model inputs.
+type Params struct {
+	K int     // lock requests per transaction
+	N int     // concurrent transactions
+	D float64 // data items
+}
+
+// PConflict returns the probability a transaction encounters a conflict
+// during its lifetime, ≈ N·K²/(2D).
+func (p Params) PConflict() float64 {
+	v := float64(p.N) * float64(p.K) * float64(p.K) / (2 * p.D)
+	return math.Min(v, 1)
+}
+
+// PDeadlock returns the deadlock probability ≈ N·K⁴/(4D²).
+func (p Params) PDeadlock() float64 {
+	k := float64(p.K)
+	v := float64(p.N) * k * k * k * k / (4 * p.D * p.D)
+	return math.Min(v, 1)
+}
+
+// PCascade bounds the probability of a cascading abort:
+// N·P_conflict·P_deadlock.
+func (p Params) PCascade() float64 {
+	return math.Min(float64(p.N)*p.PConflict()*p.PDeadlock(), 1)
+}
+
+// AWoundWait is the waiting fraction under Wound-Wait given a conflict
+// (half the transaction on average).
+func (p Params) AWoundWait() float64 { return 0.5 }
+
+// ABamboo is the waiting fraction under Bamboo given a conflict (one
+// access out of K+1).
+func (p Params) ABamboo() float64 { return 1 / float64(p.K+1) }
+
+// WaitSavings is the modeled reduction in waiting:
+// (A_ww − A_bb)·P_conflict.
+func (p Params) WaitSavings() float64 {
+	return (p.AWoundWait() - p.ABamboo()) * p.PConflict()
+}
+
+// CascadeCost is the modeled upper bound on added abort time, with B
+// bounded by 1: P_cas_abort.
+func (p Params) CascadeCost() float64 { return p.PCascade() }
+
+// Gain is WaitSavings − CascadeCost: the modeled net advantage of Bamboo
+// over Wound-Wait as a fraction of execution time (≥ 0 means Bamboo
+// wins).
+func (p Params) Gain() float64 { return p.WaitSavings() - p.CascadeCost() }
+
+// BambooWins evaluates the closed-form condition N²K⁴/(2D²) < (K−1)/(K+1).
+func (p Params) BambooWins() bool {
+	k := float64(p.K)
+	n := float64(p.N)
+	lhs := n * n * k * k * k * k / (2 * p.D * p.D)
+	rhs := (k - 1) / (k + 1)
+	return lhs < rhs
+}
+
+// SpeedupUpperBound is the idealized Bamboo-over-2PL speedup for a
+// workload whose only contention is one hotspot at position pos in [0,1]
+// of a K-op transaction: 2PL serializes transactions for the lock-hold
+// duration (1−pos)·K+1 ops, Bamboo for ~1 op. Used to sanity-check the
+// shapes of Figures 3a/3b.
+func SpeedupUpperBound(k int, pos float64) float64 {
+	hold := (1-pos)*float64(k) + 1
+	return hold
+}

@@ -1,0 +1,86 @@
+package model
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPaperExampleGainPositive(t *testing.T) {
+	// "For most databases, the data size D is orders of magnitude larger
+	// than N and K; so the equation will hold."
+	p := Params{K: 16, N: 32, D: 1e7}
+	if !p.BambooWins() {
+		t.Fatal("model: Bamboo should win at database scale")
+	}
+	if p.Gain() <= 0 {
+		t.Fatalf("gain = %f, want positive", p.Gain())
+	}
+}
+
+func TestTinyDatabaseFavorsWoundWait(t *testing.T) {
+	// With D comparable to N·K², deadlocks (and thus cascades) dominate.
+	p := Params{K: 16, N: 64, D: 100}
+	if p.BambooWins() {
+		t.Fatal("model: Bamboo should not win when D is tiny")
+	}
+}
+
+func TestProbabilitiesBounded(t *testing.T) {
+	f := func(k, n uint8, d uint16) bool {
+		p := Params{K: int(k%32) + 1, N: int(n%128) + 1, D: float64(d) + 1}
+		for _, v := range []float64{p.PConflict(), p.PDeadlock(), p.PCascade()} {
+			if v < 0 || v > 1 || math.IsNaN(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGainMonotoneInD(t *testing.T) {
+	// More data items → less contention for the same N, K, but the gain
+	// (a fraction of the *conflict* cost recovered) shrinks toward zero
+	// from above once Bamboo wins; verify no sign flip back to negative.
+	prevWin := false
+	for _, d := range []float64{1e2, 1e3, 1e4, 1e5, 1e6, 1e7} {
+		p := Params{K: 16, N: 32, D: d}
+		win := p.Gain() > 0
+		if prevWin && !win {
+			t.Fatalf("gain flipped back negative at D=%g", d)
+		}
+		prevWin = win
+	}
+	if !prevWin {
+		t.Fatal("Bamboo never wins even at large D")
+	}
+}
+
+func TestWaitSavingsGrowWithK(t *testing.T) {
+	// Longer transactions → larger A_ww − A_bb → more benefit (Fig 3a's
+	// "greater speedup for longer transactions").
+	g4 := Params{K: 4, N: 16, D: 1e6}.WaitSavings()
+	g16 := Params{K: 16, N: 16, D: 1e6}.WaitSavings()
+	g64 := Params{K: 64, N: 16, D: 1e6}.WaitSavings()
+	if !(g4 < g16 && g16 < g64) {
+		t.Fatalf("savings not monotone in K: %g %g %g", g4, g16, g64)
+	}
+}
+
+func TestSpeedupUpperBoundShape(t *testing.T) {
+	// Earlier hotspots give larger idealized speedups (Fig 3b's shape).
+	prev := math.Inf(1)
+	for _, pos := range []float64{0, 0.25, 0.5, 0.75, 1.0} {
+		s := SpeedupUpperBound(16, pos)
+		if s > prev {
+			t.Fatalf("speedup bound not decreasing in position: %f at %f", s, pos)
+		}
+		prev = s
+	}
+	if SpeedupUpperBound(16, 0) != 17 {
+		t.Fatalf("bound at pos 0 = %f, want 17", SpeedupUpperBound(16, 0))
+	}
+}

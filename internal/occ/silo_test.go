@@ -1,0 +1,136 @@
+package occ_test
+
+import (
+	"testing"
+
+	"bamboo/internal/core"
+	"bamboo/internal/occ"
+	"bamboo/internal/stats"
+	"bamboo/internal/verify/verifytest"
+)
+
+func newEngine(t *testing.T, captureReads bool) *occ.Engine {
+	t.Helper()
+	db := core.NewDB(core.Config{CaptureReads: captureReads})
+	e := occ.New(db)
+	t.Cleanup(e.Close)
+	return e
+}
+
+func TestSiloSerializability(t *testing.T) {
+	verifytest.RunSerializability(t, newEngine(t, true), verifytest.DefaultOptions())
+}
+
+func TestSiloSerializabilityHighContention(t *testing.T) {
+	opts := verifytest.DefaultOptions()
+	opts.Rows = 2
+	opts.OpsPerTxn = 2
+	opts.WriteRatio = 0.8
+	opts.Workers = 12
+	opts.PerWorker = 200
+	verifytest.RunSerializability(t, newEngine(t, true), opts)
+}
+
+func TestSiloBankConservation(t *testing.T) {
+	verifytest.RunBankConservation(t, newEngine(t, false), 10, 8, 200)
+}
+
+func TestSiloReadOnlyNeedsNoValidationRetry(t *testing.T) {
+	e := newEngine(t, false)
+	tbl := verifytest.BuildDB(e.Database(), 4)
+	res := core.RunN(e, 4, 100, func(worker, seq int) core.TxnFunc {
+		return func(tx core.Tx) error {
+			for k := uint64(0); k < 4; k++ {
+				if _, err := tx.Read(tbl.Get(k)); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+	})
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if res.Report.Aborts != 0 {
+		t.Fatalf("read-only workload aborted %d times", res.Report.Aborts)
+	}
+}
+
+func TestSiloUserAbort(t *testing.T) {
+	e := newEngine(t, false)
+	tbl := verifytest.BuildDB(e.Database(), 1)
+	res := core.RunN(e, 1, 1, func(_, _ int) core.TxnFunc {
+		return func(tx core.Tx) error {
+			if err := tx.Update(tbl.Get(0), func(img []byte) {
+				tbl.Schema.SetInt64(img, 0, 1)
+			}); err != nil {
+				return err
+			}
+			return core.ErrUserAbort
+		}
+	})
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if res.Report.Commits != 0 || res.Report.Aborts != 1 {
+		t.Fatalf("commits=%d aborts=%d, want 0/1", res.Report.Commits, res.Report.Aborts)
+	}
+	if got := tbl.Schema.GetInt64(tbl.Get(0).Entry.CurrentData(), 0); got != 0 {
+		t.Fatalf("aborted write visible: %d", got)
+	}
+}
+
+func TestSiloInsert(t *testing.T) {
+	e := newEngine(t, false)
+	tbl := verifytest.BuildDB(e.Database(), 1)
+	sess := e.NewSession(0, newCollector())
+	img := tbl.Schema.NewRowImage()
+	tbl.Schema.SetInt64(img, 1, 7)
+	if err := sess.Run(func(tx core.Tx) error { return tx.Insert(tbl, 50, img) }); err != nil {
+		t.Fatal(err)
+	}
+	row := tbl.Get(50)
+	if row == nil {
+		t.Fatal("insert not visible")
+	}
+	sess2 := e.NewSession(1, newCollector())
+	if err := sess2.Run(func(tx core.Tx) error {
+		got, err := tx.Read(row)
+		if err != nil {
+			return err
+		}
+		if v := tbl.Schema.GetInt64(got, 1); v != 7 {
+			t.Errorf("read inserted value %d, want 7", v)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSiloUpgradeReadToWrite(t *testing.T) {
+	// Unlike the lock engine, Silo supports read-then-update of the same
+	// row: the read stays in the read set and is validated.
+	e := newEngine(t, false)
+	tbl := verifytest.BuildDB(e.Database(), 1)
+	sess := e.NewSession(0, newCollector())
+	if err := sess.Run(func(tx core.Tx) error {
+		if _, err := tx.Read(tbl.Get(0)); err != nil {
+			return err
+		}
+		return tx.Update(tbl.Get(0), func(img []byte) {
+			tbl.Schema.SetInt64(img, 1, 5)
+		})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := tbl.Schema.GetInt64(tbl.Get(0).Entry.CurrentData(), 1); got != 0 {
+		// OCC images are published via OCCImage, not Entry.Data.
+		t.Fatalf("entry image unexpectedly mutated: %d", got)
+	}
+	if p := tbl.Get(0).OCCImage.Load(); p == nil || tbl.Schema.GetInt64(*p, 1) != 5 {
+		t.Fatal("OCC image not installed")
+	}
+}
+
+func newCollector() *stats.Collector { return &stats.Collector{} }

@@ -1,0 +1,424 @@
+// Package retire implements the paper's §3.3: deciding where a
+// transaction program can retire its write locks. Transaction programs
+// are expressed in a small IR (assignments of pure expressions, keyed
+// table accesses, conditionals and fixed-count loops — the shapes of the
+// paper's Listings 1 and 3). Analyze performs the control/data-flow
+// analysis and synthesizes, for every write access, a retire condition:
+//
+//   - if the table is never accessed again, retire unconditionally
+//     right after the write;
+//   - if a later access is guarded or keyed by values computable at the
+//     retire point, synthesize "!cond || key1 != key2" (Listing 2) —
+//     purity of IR expressions makes the paper's "move the computation
+//     to an earlier position" transformation implicit: the interpreter
+//     evaluates the needed assignments on demand, which is legal exactly
+//     because they are pure and single-assignment;
+//   - inside fixed-count loops, apply loop fission (Listing 4): the
+//     retire condition for iteration i checks that no later iteration
+//     re-touches the same key.
+//
+// The Interpreter then executes the program against any core.Tx,
+// inserting LockRetire calls (via core.Retirer) where the analysis
+// decided. Engines without explicit retiring simply ignore them.
+package retire
+
+import (
+	"fmt"
+
+	"bamboo/internal/core"
+	"bamboo/internal/storage"
+)
+
+// Env holds the runtime variable bindings of one program execution.
+// Variables are single-assignment except loop indexes, which the
+// interpreter scopes per iteration.
+//
+// Env also carries the program's pure assignment definitions: when a
+// synthesized retire condition reads a variable whose Assign has not
+// executed yet, Get evaluates the definition on demand and memoizes it.
+// This realizes the paper's "move the computation on the data-dependency
+// path to an earlier position" transformation — legal exactly because IR
+// expressions are pure and single-assignment.
+type Env struct {
+	vars map[string]int64
+	defs map[string]Expr
+}
+
+// NewEnv creates an environment from the transaction inputs.
+func NewEnv(inputs map[string]int64) *Env {
+	vars := make(map[string]int64, len(inputs)+8)
+	for k, v := range inputs {
+		vars[k] = v
+	}
+	return &Env{vars: vars}
+}
+
+// Get returns a variable, lazily evaluating its pure definition if the
+// assignment has not executed yet; unbound names without definitions
+// panic (an analysis bug).
+func (e *Env) Get(name string) int64 {
+	if v, ok := e.vars[name]; ok {
+		return v
+	}
+	if def, ok := e.defs[name]; ok {
+		v := def.Eval(e)
+		e.vars[name] = v
+		return v
+	}
+	panic(fmt.Sprintf("retire: unbound variable %q", name))
+}
+
+func (e *Env) set(name string, v int64) { e.vars[name] = v }
+
+// Expr is a pure expression over environment variables.
+type Expr struct {
+	// Deps are the variables the expression reads (for the analysis).
+	Deps []string
+	// Eval computes the value. Must be pure.
+	Eval func(env *Env) int64
+}
+
+// Var references a variable.
+func Var(name string) Expr {
+	return Expr{Deps: []string{name}, Eval: func(e *Env) int64 { return e.Get(name) }}
+}
+
+// Const is a constant expression.
+func Const(v int64) Expr {
+	return Expr{Eval: func(*Env) int64 { return v }}
+}
+
+// Fn builds an expression from named dependencies.
+func Fn(deps []string, f func(vals ...int64) int64) Expr {
+	return Expr{Deps: deps, Eval: func(e *Env) int64 {
+		vals := make([]int64, len(deps))
+		for i, d := range deps {
+			vals[i] = e.Get(d)
+		}
+		return f(vals...)
+	}}
+}
+
+// Stmt is a program statement.
+type Stmt interface{ isStmt() }
+
+// Assign binds Var to the value of Expr (single assignment).
+type Assign struct {
+	Var  string
+	Expr Expr
+}
+
+func (Assign) isStmt() {}
+
+// Access reads or writes one tuple of Table, keyed by Key.
+type Access struct {
+	// Name labels the access for plans and tests (e.g. "op1").
+	Name  string
+	Table *storage.Table
+	Key   Expr
+	Write bool
+	// Mutate is applied to the row image for writes (nil reads).
+	Mutate func(img []byte, env *Env)
+}
+
+func (*Access) isStmt() {}
+
+// If executes Then when Cond evaluates non-zero.
+type If struct {
+	Cond Expr
+	Then []Stmt
+}
+
+func (If) isStmt() {}
+
+// For executes Body Count times with Idx bound to 0..Count-1. Count must
+// not change inside the loop (the paper's fixed-count restriction; other
+// loop forms do not retire inside the loop).
+type For struct {
+	Idx   string
+	Count Expr
+	Body  []Stmt
+}
+
+func (For) isStmt() {}
+
+// Program is a transaction program.
+type Program struct {
+	Stmts []Stmt
+}
+
+// Plan is the analysis result: for every write access, its retire rule.
+type Plan struct {
+	// rules[accessName] decides, given the environment and (for loop
+	// accesses) the current index, whether the lock may retire right
+	// after the write.
+	rules map[string]retireRule
+}
+
+type retireRule struct {
+	// always retires unconditionally.
+	always bool
+	// cond, when non-nil, must evaluate true to retire (synthesized
+	// "!guard || keys differ" conjunction).
+	cond func(env *Env) bool
+	// explain describes the synthesized condition for tests/logging.
+	explain string
+}
+
+// Rule reports the retire decision string for an access ("always",
+// "never", or the synthesized condition description).
+func (p *Plan) Rule(access string) string {
+	r, ok := p.rules[access]
+	switch {
+	case !ok:
+		return "never"
+	case r.always:
+		return "always"
+	default:
+		return r.explain
+	}
+}
+
+// accessSite is one access with its static context.
+type accessSite struct {
+	acc    *Access
+	guards []Expr // enclosing If conditions
+	loop   *For   // innermost loop, if any
+}
+
+// Analyze synthesizes retire conditions for every write access of prog.
+func Analyze(prog *Program) *Plan {
+	var sites []accessSite
+	var collect func(stmts []Stmt, guards []Expr, loop *For)
+	collect = func(stmts []Stmt, guards []Expr, loop *For) {
+		for _, s := range stmts {
+			switch s := s.(type) {
+			case *Access:
+				sites = append(sites, accessSite{acc: s, guards: guards, loop: loop})
+			case If:
+				collect(s.Then, append(append([]Expr(nil), guards...), s.Cond), loop)
+			case For:
+				f := s
+				collect(s.Body, guards, &f)
+			}
+		}
+	}
+	collect(prog.Stmts, nil, nil)
+
+	plan := &Plan{rules: make(map[string]retireRule)}
+	for i, site := range sites {
+		if !site.acc.Write {
+			continue // reads retire automatically (Optimization 1)
+		}
+		later := sites[i+1:]
+		rule := synthesize(site, later)
+		plan.rules[site.acc.Name] = rule
+	}
+	return plan
+}
+
+// synthesize builds the retire rule for one write site given the sites
+// that execute after it.
+func synthesize(site accessSite, later []accessSite) retireRule {
+	var conds []func(env *Env) bool
+	explain := ""
+
+	// Future iterations of the site's own loop re-execute the access:
+	// loop fission (Listing 4) — retire iteration i only if no later
+	// iteration uses the same key.
+	if site.loop != nil {
+		loop := site.loop
+		key := site.acc.Key
+		conds = append(conds, func(env *Env) bool {
+			i := env.Get(loop.Idx)
+			n := loop.Count.Eval(env)
+			mine := key.Eval(env)
+			for j := i + 1; j < n; j++ {
+				env.set(loop.Idx, j)
+				other := key.Eval(env)
+				env.set(loop.Idx, i)
+				if other == mine {
+					return false
+				}
+			}
+			return true
+		})
+		explain = appendExplain(explain, "no later iteration reuses the key")
+	}
+
+	for _, l := range later {
+		if l.acc.Table != site.acc.Table {
+			continue
+		}
+		l := l
+		if l.loop != nil && l.loop == site.loop {
+			continue // same-loop future iterations already handled
+		}
+		key1 := site.acc.Key
+		key2 := l.acc.Key
+		guards := l.guards
+		if l.loop != nil {
+			// A later loop may touch the tuple in any iteration.
+			loop := l.loop
+			conds = append(conds, func(env *Env) bool {
+				mine := key1.Eval(env)
+				n := loop.Count.Eval(env)
+				old, had := env.vars[loop.Idx]
+				for j := int64(0); j < n; j++ {
+					env.set(loop.Idx, j)
+					same := key2.Eval(env) == mine && guardsHold(guards, env)
+					if same {
+						restoreIdx(env, loop.Idx, old, had)
+						return false
+					}
+				}
+				restoreIdx(env, loop.Idx, old, had)
+				return true
+			})
+			explain = appendExplain(explain, fmt.Sprintf("no iteration of a later loop touches %s's key", site.acc.Name))
+			continue
+		}
+		conds = append(conds, func(env *Env) bool {
+			// !cond || keys differ (Listing 2).
+			if !guardsHold(guards, env) {
+				return true
+			}
+			return key2.Eval(env) != key1.Eval(env)
+		})
+		explain = appendExplain(explain, fmt.Sprintf("!guard(%s) || key(%s) != key(%s)", l.acc.Name, l.acc.Name, site.acc.Name))
+	}
+
+	if len(conds) == 0 {
+		return retireRule{always: true, explain: "always"}
+	}
+	return retireRule{
+		cond: func(env *Env) bool {
+			for _, c := range conds {
+				if !c(env) {
+					return false
+				}
+			}
+			return true
+		},
+		explain: explain,
+	}
+}
+
+func guardsHold(guards []Expr, env *Env) bool {
+	for _, g := range guards {
+		if g.Eval(env) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func restoreIdx(env *Env, idx string, old int64, had bool) {
+	if had {
+		env.set(idx, old)
+	} else {
+		delete(env.vars, idx)
+	}
+}
+
+func appendExplain(cur, add string) string {
+	if cur == "" {
+		return add
+	}
+	return cur + " && " + add
+}
+
+// Interpreter executes analyzed programs against a transaction.
+type Interpreter struct {
+	prog *Program
+	plan *Plan
+}
+
+// NewInterpreter pairs a program with its analysis.
+func NewInterpreter(prog *Program, plan *Plan) *Interpreter {
+	return &Interpreter{prog: prog, plan: plan}
+}
+
+// Run executes the program as one transaction body with the given
+// inputs, retiring write locks at the synthesized points.
+func (in *Interpreter) Run(tx core.Tx, inputs map[string]int64) error {
+	env := NewEnv(inputs)
+	env.defs = collectDefs(in.prog.Stmts)
+	retirer, _ := tx.(core.Retirer)
+	return in.exec(tx, retirer, env, in.prog.Stmts)
+}
+
+// collectDefs gathers the pure assignment definitions reachable outside
+// loop bodies (loop-body assignments depend on the index and are
+// evaluated in place).
+func collectDefs(stmts []Stmt) map[string]Expr {
+	defs := make(map[string]Expr)
+	var walk func([]Stmt)
+	walk = func(stmts []Stmt) {
+		for _, s := range stmts {
+			switch s := s.(type) {
+			case Assign:
+				defs[s.Var] = s.Expr
+			case If:
+				walk(s.Then)
+			}
+		}
+	}
+	walk(stmts)
+	return defs
+}
+
+func (in *Interpreter) exec(tx core.Tx, retirer core.Retirer, env *Env, stmts []Stmt) error {
+	for _, s := range stmts {
+		switch s := s.(type) {
+		case Assign:
+			env.set(s.Var, s.Expr.Eval(env))
+		case *Access:
+			if err := in.access(tx, retirer, env, s); err != nil {
+				return err
+			}
+		case If:
+			if s.Cond.Eval(env) != 0 {
+				if err := in.exec(tx, retirer, env, s.Then); err != nil {
+					return err
+				}
+			}
+		case For:
+			n := s.Count.Eval(env)
+			for i := int64(0); i < n; i++ {
+				env.set(s.Idx, i)
+				if err := in.exec(tx, retirer, env, s.Body); err != nil {
+					return err
+				}
+			}
+		default:
+			return fmt.Errorf("retire: unknown statement %T", s)
+		}
+	}
+	return nil
+}
+
+func (in *Interpreter) access(tx core.Tx, retirer core.Retirer, env *Env, a *Access) error {
+	row := a.Table.Get(uint64(a.Key.Eval(env)))
+	if row == nil {
+		return fmt.Errorf("retire: access %s: no row for key %d", a.Name, a.Key.Eval(env))
+	}
+	if !a.Write {
+		_, err := tx.Read(row)
+		return err
+	}
+	err := tx.Update(row, func(img []byte) {
+		if a.Mutate != nil {
+			a.Mutate(img, env)
+		}
+	})
+	if err != nil {
+		return err
+	}
+	if rule, ok := in.plan.rules[a.Name]; ok && retirer != nil {
+		if rule.always || (rule.cond != nil && rule.cond(env)) {
+			retirer.RetireRow(row)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,217 @@
+// Package stats collects the per-transaction metrics the paper reports:
+// throughput, abort rates by cause, the amortized runtime breakdown of the
+// "runtime analysis" figures (lock wait / abort / commit wait / useful
+// work), and abort-chain lengths (§4.2).
+//
+// Collection is per-worker and contention-free; Merge folds workers
+// together at the end of a run.
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"bamboo/internal/txn"
+)
+
+// Collector accumulates metrics for one worker. It is not safe for
+// concurrent use; give each worker its own and Merge at the end.
+type Collector struct {
+	Commits uint64
+	Aborts  uint64
+	// AbortsBy counts aborted attempts by cause.
+	AbortsBy [6]uint64
+
+	// Time breakdown, summed over all attempts (committed and aborted).
+	LockWait   time.Duration // waiting inside lock acquisition
+	CommitWait time.Duration // waiting on the commit semaphore / validation
+	AbortTime  time.Duration // execution time of attempts that aborted
+	UsefulTime time.Duration // execution time of attempts that committed
+	Elapsed    time.Duration // wall-clock span of the worker's run
+
+	// Latencies, sampled per committed transaction (capped reservoir).
+	latSamples []time.Duration
+}
+
+// Global holds the counters that are recorded from inside the shared lock
+// manager — wounds, cascading-abort events and chain lengths — where no
+// per-worker collector is in scope. All operations are atomic.
+type Global struct {
+	Wounds   atomic.Uint64
+	Cascades atomic.Uint64
+	ChainSum atomic.Uint64
+	ChainMax atomic.Uint64
+}
+
+// RecordWound counts one wounded transaction.
+func (g *Global) RecordWound() { g.Wounds.Add(1) }
+
+// RecordCascade records one cascading-abort event with its chain length
+// (the number of transactions aborted by one transaction's abort, §4.2).
+func (g *Global) RecordCascade(chain int) {
+	g.Cascades.Add(1)
+	g.ChainSum.Add(uint64(chain))
+	for {
+		cur := g.ChainMax.Load()
+		if uint64(chain) <= cur || g.ChainMax.CompareAndSwap(cur, uint64(chain)) {
+			return
+		}
+	}
+}
+
+const maxLatSamples = 4096
+
+// RecordCommit records a committed attempt with its time breakdown.
+func (c *Collector) RecordCommit(exec, lockWait, commitWait time.Duration) {
+	c.Commits++
+	c.UsefulTime += exec
+	c.LockWait += lockWait
+	c.CommitWait += commitWait
+	if len(c.latSamples) < maxLatSamples {
+		c.latSamples = append(c.latSamples, exec+lockWait+commitWait)
+	}
+}
+
+// RecordAbort records an aborted attempt.
+func (c *Collector) RecordAbort(cause txn.AbortCause, exec, lockWait, commitWait time.Duration) {
+	c.Aborts++
+	if int(cause) < len(c.AbortsBy) {
+		c.AbortsBy[cause]++
+	}
+	c.AbortTime += exec
+	c.LockWait += lockWait
+	c.CommitWait += commitWait
+}
+
+// Merge folds other into c.
+func (c *Collector) Merge(other *Collector) {
+	c.Commits += other.Commits
+	c.Aborts += other.Aborts
+	for i := range c.AbortsBy {
+		c.AbortsBy[i] += other.AbortsBy[i]
+	}
+	c.LockWait += other.LockWait
+	c.CommitWait += other.CommitWait
+	c.AbortTime += other.AbortTime
+	c.UsefulTime += other.UsefulTime
+	if other.Elapsed > c.Elapsed {
+		c.Elapsed = other.Elapsed
+	}
+	room := maxLatSamples - len(c.latSamples)
+	if room > 0 {
+		n := len(other.latSamples)
+		if n > room {
+			n = room
+		}
+		c.latSamples = append(c.latSamples, other.latSamples[:n]...)
+	}
+}
+
+// Report is an immutable summary of a run.
+type Report struct {
+	Protocol string
+	Workers  int
+
+	Commits uint64
+	Aborts  uint64
+	// AbortRate is aborted attempts / total attempts.
+	AbortRate float64
+	// AbortsBy maps cause name → count.
+	AbortsBy map[string]uint64
+
+	// ThroughputTPS is committed transactions per second of wall time.
+	ThroughputTPS float64
+
+	// Amortized per-committed-transaction runtime breakdown (the paper's
+	// "amortized runtime per txn" figures).
+	PerTxnLockWait   time.Duration
+	PerTxnCommitWait time.Duration
+	PerTxnAbort      time.Duration
+	PerTxnUseful     time.Duration
+
+	Wounds       uint64
+	Cascades     uint64
+	AvgChain     float64
+	MaxChain     uint64
+	LatencyP50   time.Duration
+	LatencyP99   time.Duration
+	Elapsed      time.Duration
+	TotalWorkers int
+}
+
+// Summarize merges the worker collectors and derives a report. g carries
+// the manager-level wound/cascade counters and may be nil.
+func Summarize(protocol string, elapsed time.Duration, workers []*Collector, g *Global) Report {
+	var all Collector
+	for _, w := range workers {
+		all.Merge(w)
+	}
+	r := Report{
+		Protocol: protocol,
+		Workers:  len(workers),
+		Commits:  all.Commits,
+		Aborts:   all.Aborts,
+		AbortsBy: make(map[string]uint64),
+		Elapsed:  elapsed,
+	}
+	var cascades, chainSum uint64
+	if g != nil {
+		r.Wounds = g.Wounds.Load()
+		cascades = g.Cascades.Load()
+		chainSum = g.ChainSum.Load()
+		r.Cascades = cascades
+		r.MaxChain = g.ChainMax.Load()
+	}
+	for cause, n := range all.AbortsBy {
+		if n > 0 {
+			r.AbortsBy[txn.AbortCause(cause).String()] = n
+		}
+	}
+	if total := all.Commits + all.Aborts; total > 0 {
+		r.AbortRate = float64(all.Aborts) / float64(total)
+	}
+	if elapsed > 0 {
+		r.ThroughputTPS = float64(all.Commits) / elapsed.Seconds()
+	}
+	if all.Commits > 0 {
+		n := time.Duration(all.Commits)
+		r.PerTxnLockWait = all.LockWait / n
+		r.PerTxnCommitWait = all.CommitWait / n
+		r.PerTxnAbort = all.AbortTime / n
+		r.PerTxnUseful = all.UsefulTime / n
+	}
+	if cascades > 0 {
+		r.AvgChain = float64(chainSum) / float64(cascades)
+	}
+	if len(all.latSamples) > 0 {
+		sort.Slice(all.latSamples, func(i, j int) bool { return all.latSamples[i] < all.latSamples[j] })
+		r.LatencyP50 = all.latSamples[len(all.latSamples)*50/100]
+		r.LatencyP99 = all.latSamples[len(all.latSamples)*99/100]
+	}
+	return r
+}
+
+// String renders the report as a one-line summary.
+func (r Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %8.0f txn/s  aborts=%5.1f%%  wait=%s commitWait=%s abortTime=%s useful=%s",
+		r.Protocol, r.ThroughputTPS, r.AbortRate*100,
+		r.PerTxnLockWait.Round(time.Microsecond),
+		r.PerTxnCommitWait.Round(time.Microsecond),
+		r.PerTxnAbort.Round(time.Microsecond),
+		r.PerTxnUseful.Round(time.Microsecond))
+	if r.Cascades > 0 {
+		fmt.Fprintf(&b, "  chains(avg=%.1f max=%d)", r.AvgChain, r.MaxChain)
+	}
+	return b.String()
+}
+
+// BreakdownRow returns the four per-transaction time components in the
+// order the paper's stacked bars use: lock wait, abort, commit wait,
+// useful.
+func (r Report) BreakdownRow() [4]time.Duration {
+	return [4]time.Duration{r.PerTxnLockWait, r.PerTxnAbort, r.PerTxnCommitWait, r.PerTxnUseful}
+}

@@ -1,0 +1,107 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"bamboo/internal/txn"
+)
+
+func TestCollectorAndSummarize(t *testing.T) {
+	c1 := &Collector{}
+	c1.RecordCommit(10*time.Millisecond, 2*time.Millisecond, time.Millisecond)
+	c1.RecordCommit(10*time.Millisecond, 0, 0)
+	c1.RecordAbort(txn.CauseWound, 5*time.Millisecond, time.Millisecond, 0)
+
+	c2 := &Collector{}
+	c2.RecordCommit(20*time.Millisecond, 0, 0)
+	c2.RecordAbort(txn.CauseUser, time.Millisecond, 0, 0)
+
+	g := &Global{}
+	g.RecordWound()
+	g.RecordCascade(3)
+	g.RecordCascade(5)
+	g.RecordCascade(2)
+
+	r := Summarize("TEST", time.Second, []*Collector{c1, c2}, g)
+	if r.Commits != 3 || r.Aborts != 2 {
+		t.Fatalf("commits=%d aborts=%d", r.Commits, r.Aborts)
+	}
+	if r.ThroughputTPS != 3 {
+		t.Fatalf("tps = %f", r.ThroughputTPS)
+	}
+	if r.AbortRate != 2.0/5.0 {
+		t.Fatalf("abort rate = %f", r.AbortRate)
+	}
+	if r.AbortsBy["wound"] != 1 || r.AbortsBy["user"] != 1 {
+		t.Fatalf("by cause: %v", r.AbortsBy)
+	}
+	if r.Wounds != 1 || r.Cascades != 3 || r.MaxChain != 5 {
+		t.Fatalf("global: wounds=%d cascades=%d max=%d", r.Wounds, r.Cascades, r.MaxChain)
+	}
+	if r.AvgChain < 3.3 || r.AvgChain > 3.4 {
+		t.Fatalf("avg chain = %f", r.AvgChain)
+	}
+	// Amortized per committed txn: useful = 40ms/3.
+	if want := 40 * time.Millisecond / 3; r.PerTxnUseful != want {
+		t.Fatalf("useful = %v, want %v", r.PerTxnUseful, want)
+	}
+	if r.LatencyP50 == 0 || r.LatencyP99 < r.LatencyP50 {
+		t.Fatalf("latencies: p50=%v p99=%v", r.LatencyP50, r.LatencyP99)
+	}
+	s := r.String()
+	if !strings.Contains(s, "TEST") || !strings.Contains(s, "chains") {
+		t.Fatalf("String() = %q", s)
+	}
+	b := r.BreakdownRow()
+	if b[3] != r.PerTxnUseful {
+		t.Fatal("breakdown order wrong")
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	r := Summarize("EMPTY", 0, nil, nil)
+	if r.Commits != 0 || r.ThroughputTPS != 0 || r.AbortRate != 0 {
+		t.Fatalf("empty report: %+v", r)
+	}
+	_ = r.String()
+}
+
+func TestGlobalChainMaxRace(t *testing.T) {
+	g := &Global{}
+	done := make(chan struct{})
+	for i := 0; i < 8; i++ {
+		go func(i int) {
+			for j := 0; j < 1000; j++ {
+				g.RecordCascade(i*1000 + j)
+			}
+			done <- struct{}{}
+		}(i)
+	}
+	for i := 0; i < 8; i++ {
+		<-done
+	}
+	if g.ChainMax.Load() != 7999 {
+		t.Fatalf("max = %d", g.ChainMax.Load())
+	}
+	if g.Cascades.Load() != 8000 {
+		t.Fatalf("cascades = %d", g.Cascades.Load())
+	}
+}
+
+func TestLatencySampleCap(t *testing.T) {
+	c := &Collector{}
+	for i := 0; i < maxLatSamples*2; i++ {
+		c.RecordCommit(time.Microsecond, 0, 0)
+	}
+	if len(c.latSamples) != maxLatSamples {
+		t.Fatalf("samples = %d", len(c.latSamples))
+	}
+	other := &Collector{}
+	other.RecordCommit(time.Microsecond, 0, 0)
+	c.Merge(other) // must not exceed cap
+	if len(c.latSamples) != maxLatSamples {
+		t.Fatalf("samples after merge = %d", len(c.latSamples))
+	}
+}

@@ -1,0 +1,161 @@
+// Package storage provides the in-memory row store substrate used by every
+// protocol in this repository: fixed-width schemas, rows that embed a lock
+// entry and an OCC timestamp word, tables, sharded hash indexes, and a
+// catalog. It mirrors the role DBx1000's row/index/catalog layer plays for
+// the paper's evaluation: data is stored row-oriented and accessed through
+// hash indexes (paper §5.1).
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// ColType is the type of a column.
+type ColType uint8
+
+const (
+	// ColInt64 is a signed 64-bit integer column.
+	ColInt64 ColType = iota
+	// ColFloat64 is a 64-bit float column, stored as IEEE-754 bits.
+	ColFloat64
+	// ColBytes is a fixed-width byte-string column.
+	ColBytes
+)
+
+// Column describes one fixed-width column.
+type Column struct {
+	Name string
+	Type ColType
+	// Size is the width in bytes; ignored (8) for ColInt64/ColFloat64.
+	Size int
+}
+
+func (c Column) width() int {
+	switch c.Type {
+	case ColInt64, ColFloat64:
+		return 8
+	default:
+		return c.Size
+	}
+}
+
+// Schema is a fixed-width row layout with named columns. Fixed widths keep
+// rows as flat byte slices, which is what makes Bamboo's pointer-swap
+// version install/restore cheap.
+type Schema struct {
+	Name    string
+	Columns []Column
+	offsets []int
+	size    int
+	index   map[string]int
+}
+
+// NewSchema builds a schema, computing column offsets.
+func NewSchema(name string, cols ...Column) *Schema {
+	s := &Schema{Name: name, Columns: cols, index: make(map[string]int, len(cols))}
+	off := 0
+	for i, c := range cols {
+		s.offsets = append(s.offsets, off)
+		off += c.width()
+		if _, dup := s.index[c.Name]; dup {
+			panic(fmt.Sprintf("storage: duplicate column %q in schema %q", c.Name, name))
+		}
+		s.index[c.Name] = i
+	}
+	s.size = off
+	return s
+}
+
+// RowSize returns the fixed row width in bytes.
+func (s *Schema) RowSize() int { return s.size }
+
+// NumColumns returns the number of columns.
+func (s *Schema) NumColumns() int { return len(s.Columns) }
+
+// ColIndex returns the index of the named column, panicking if absent
+// (schemas are static; a miss is a programming error).
+func (s *Schema) ColIndex(name string) int {
+	i, ok := s.index[name]
+	if !ok {
+		panic(fmt.Sprintf("storage: no column %q in schema %q", name, s.Name))
+	}
+	return i
+}
+
+// Offset returns the byte offset of column i.
+func (s *Schema) Offset(i int) int { return s.offsets[i] }
+
+// ColWidth returns the byte width of column i.
+func (s *Schema) ColWidth(i int) int { return s.Columns[i].width() }
+
+// CopyCols copies the columns selected by mask (bit i = column i) from
+// src into dst. Both must be full row images of this schema. Used by the
+// column-granular installs of the IC3 engine, where writers of disjoint
+// columns of one row commute.
+func (s *Schema) CopyCols(dst, src []byte, mask uint64) {
+	for i := 0; mask != 0 && i < len(s.Columns); i++ {
+		if mask&(1<<uint(i)) == 0 {
+			continue
+		}
+		mask &^= 1 << uint(i)
+		off, w := s.offsets[i], s.Columns[i].width()
+		copy(dst[off:off+w], src[off:off+w])
+	}
+}
+
+// Typed accessors over a raw row image. Bounds are enforced by slicing.
+
+// GetInt64 reads column col from image data.
+func (s *Schema) GetInt64(data []byte, col int) int64 {
+	off := s.offsets[col]
+	return int64(binary.LittleEndian.Uint64(data[off : off+8]))
+}
+
+// SetInt64 writes column col in image data.
+func (s *Schema) SetInt64(data []byte, col int, v int64) {
+	off := s.offsets[col]
+	binary.LittleEndian.PutUint64(data[off:off+8], uint64(v))
+}
+
+// AddInt64 adds delta to column col in image data and returns the result.
+func (s *Schema) AddInt64(data []byte, col int, delta int64) int64 {
+	v := s.GetInt64(data, col) + delta
+	s.SetInt64(data, col, v)
+	return v
+}
+
+// GetFloat64 reads a float column (stored as raw bits via math.Float64bits
+// performed by the caller; the engine stores cents as int64 where money is
+// involved, so float support is minimal).
+func (s *Schema) GetFloat64(data []byte, col int) uint64 {
+	off := s.offsets[col]
+	return binary.LittleEndian.Uint64(data[off : off+8])
+}
+
+// SetFloat64 writes raw float bits.
+func (s *Schema) SetFloat64(data []byte, col int, bits uint64) {
+	off := s.offsets[col]
+	binary.LittleEndian.PutUint64(data[off:off+8], bits)
+}
+
+// GetBytes returns the byte-string column as a sub-slice of data. The
+// caller must not mutate it unless data is a private copy.
+func (s *Schema) GetBytes(data []byte, col int) []byte {
+	off := s.offsets[col]
+	return data[off : off+s.Columns[col].width()]
+}
+
+// SetBytes copies v into the byte-string column, zero-padding or
+// truncating to the column width.
+func (s *Schema) SetBytes(data []byte, col int, v []byte) {
+	off := s.offsets[col]
+	w := s.Columns[col].width()
+	n := copy(data[off:off+w], v)
+	for i := off + n; i < off+w; i++ {
+		data[i] = 0
+	}
+}
+
+// NewRowImage allocates a zeroed image for this schema.
+func (s *Schema) NewRowImage() []byte { return make([]byte, s.size) }

@@ -1,0 +1,224 @@
+package storage
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"bamboo/internal/lock"
+)
+
+// Row is one tuple. It embeds the protocol state every concurrency-control
+// scheme in this repository needs:
+//
+//   - Entry: the 2PL/Bamboo lock entry (which also owns the data image);
+//   - TID:   the Silo timestamp/lock word;
+//   - Aux:   per-protocol extension state (IC3 hangs its per-column
+//     accessor lists here).
+type Row struct {
+	Entry lock.Entry
+	TID   atomic.Uint64
+	Aux   any
+
+	// OCCImage is the row image used by the OCC (Silo) engine, swapped
+	// atomically at commit install so readers never need a latch. The
+	// lock-based engines use Entry.Data instead.
+	OCCImage atomic.Pointer[[]byte]
+
+	// Key is the primary key the row was inserted under.
+	Key uint64
+	// Table is a back-reference to the owning table (schema access).
+	Table *Table
+}
+
+// Schema returns the row's schema.
+func (r *Row) Schema() *Schema { return r.Table.Schema }
+
+// Table is a collection of rows with a schema and a primary hash index.
+type Table struct {
+	Schema *Schema
+	// Primary is the primary-key hash index.
+	Primary *HashIndex
+	count   atomic.Int64
+}
+
+// NewTable creates an empty table with a primary index sized for the given
+// expected row count (0 for default).
+func NewTable(schema *Schema, expectRows int) *Table {
+	return &Table{Schema: schema, Primary: NewHashIndex(expectRows)}
+}
+
+// InsertRow creates a row with the given key and image and registers it in
+// the primary index. It returns an error if the key already exists.
+func (t *Table) InsertRow(key uint64, image []byte) (*Row, error) {
+	if image == nil {
+		image = t.Schema.NewRowImage()
+	}
+	if len(image) != t.Schema.RowSize() {
+		return nil, fmt.Errorf("storage: image size %d != schema size %d for table %s",
+			len(image), t.Schema.RowSize(), t.Schema.Name)
+	}
+	r := &Row{Key: key, Table: t}
+	r.Entry.Init(image)
+	if !t.Primary.Insert(key, r) {
+		return nil, fmt.Errorf("storage: duplicate key %d in table %s", key, t.Schema.Name)
+	}
+	t.count.Add(1)
+	return r, nil
+}
+
+// MustInsertRow is InsertRow that panics on error; used by loaders.
+func (t *Table) MustInsertRow(key uint64, image []byte) *Row {
+	r, err := t.InsertRow(key, image)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Get returns the row for key, or nil.
+func (t *Table) Get(key uint64) *Row { return t.Primary.Get(key) }
+
+// Range iterates all rows; see HashIndex.Range.
+func (t *Table) Range(fn func(key uint64, r *Row) bool) { t.Primary.Range(fn) }
+
+// Rows returns the number of rows.
+func (t *Table) Rows() int64 { return t.count.Load() }
+
+// HashIndex is a sharded hash index mapping uint64 keys to rows. Shards
+// bound latch contention during TPC-C inserts while keeping reads cheap.
+type HashIndex struct {
+	shards [indexShards]indexShard
+}
+
+const indexShards = 64
+
+type indexShard struct {
+	mu sync.RWMutex
+	m  map[uint64]*Row
+}
+
+// NewHashIndex creates an index sized for the expected number of keys.
+func NewHashIndex(expect int) *HashIndex {
+	idx := &HashIndex{}
+	per := expect/indexShards + 1
+	for i := range idx.shards {
+		idx.shards[i].m = make(map[uint64]*Row, per)
+	}
+	return idx
+}
+
+func (idx *HashIndex) shard(key uint64) *indexShard {
+	// Fibonacci hashing spreads sequential keys across shards.
+	return &idx.shards[(key*0x9E3779B97F4A7C15)>>58&(indexShards-1)]
+}
+
+// Get returns the row for key, or nil.
+func (idx *HashIndex) Get(key uint64) *Row {
+	s := idx.shard(key)
+	s.mu.RLock()
+	r := s.m[key]
+	s.mu.RUnlock()
+	return r
+}
+
+// Insert adds key→row, returning false if the key already exists.
+func (idx *HashIndex) Insert(key uint64, r *Row) bool {
+	s := idx.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.m[key]; dup {
+		return false
+	}
+	s.m[key] = r
+	return true
+}
+
+// Delete removes key, reporting whether it was present.
+func (idx *HashIndex) Delete(key uint64) bool {
+	s := idx.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.m[key]; !ok {
+		return false
+	}
+	delete(s.m, key)
+	return true
+}
+
+// Range calls fn for every (key, row) pair until fn returns false. The
+// iteration order is unspecified. Concurrent inserts may or may not be
+// observed; intended for loaders, checkers and statistics.
+func (idx *HashIndex) Range(fn func(key uint64, r *Row) bool) {
+	for i := range idx.shards {
+		s := &idx.shards[i]
+		s.mu.RLock()
+		for k, r := range s.m {
+			if !fn(k, r) {
+				s.mu.RUnlock()
+				return
+			}
+		}
+		s.mu.RUnlock()
+	}
+}
+
+// Len returns the number of indexed keys.
+func (idx *HashIndex) Len() int {
+	n := 0
+	for i := range idx.shards {
+		s := &idx.shards[i]
+		s.mu.RLock()
+		n += len(s.m)
+		s.mu.RUnlock()
+	}
+	return n
+}
+
+// Catalog is a named collection of tables.
+type Catalog struct {
+	mu     sync.RWMutex
+	tables map[string]*Table
+}
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog { return &Catalog{tables: make(map[string]*Table)} }
+
+// CreateTable creates and registers a table.
+func (c *Catalog) CreateTable(schema *Schema, expectRows int) (*Table, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.tables[schema.Name]; dup {
+		return nil, fmt.Errorf("storage: table %q already exists", schema.Name)
+	}
+	t := NewTable(schema, expectRows)
+	c.tables[schema.Name] = t
+	return t, nil
+}
+
+// MustCreateTable is CreateTable that panics on error.
+func (c *Catalog) MustCreateTable(schema *Schema, expectRows int) *Table {
+	t, err := c.CreateTable(schema, expectRows)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Table returns the named table, or nil.
+func (c *Catalog) Table(name string) *Table {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.tables[name]
+}
+
+// Tables returns the table names in the catalog.
+func (c *Catalog) Tables() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	names := make([]string, 0, len(c.tables))
+	for n := range c.tables {
+		names = append(names, n)
+	}
+	return names
+}

@@ -1,0 +1,157 @@
+package txn
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestLifecycleCommit(t *testing.T) {
+	tx := New(1)
+	if tx.State() != StateRunning {
+		t.Fatal("not running")
+	}
+	if !tx.BeginCommit() {
+		t.Fatal("BeginCommit failed")
+	}
+	// Past the commit point wounds are no-ops.
+	if tx.SetAbort(CauseWound) {
+		t.Fatal("wound succeeded after commit point")
+	}
+	tx.FinishCommit()
+	if tx.State() != StateCommitted {
+		t.Fatal("not committed")
+	}
+}
+
+func TestLifecycleWound(t *testing.T) {
+	tx := New(1)
+	if !tx.SetAbort(CauseWound) {
+		t.Fatal("first wound must transition")
+	}
+	if tx.SetAbort(CauseCascade) {
+		t.Fatal("second abort must not re-transition")
+	}
+	if tx.Cause() != CauseWound {
+		t.Fatalf("cause = %v", tx.Cause())
+	}
+	if tx.BeginCommit() {
+		t.Fatal("commit after wound")
+	}
+	if !tx.Aborting() || !tx.WillAbort() {
+		t.Fatal("not aborting")
+	}
+	tx.FinishAbort()
+	if tx.State() != StateAborted {
+		t.Fatal("not aborted")
+	}
+}
+
+func TestResetKeepsTimestamp(t *testing.T) {
+	tx := New(1)
+	tx.SetTS(42)
+	tx.SetAbort(CauseDie)
+	tx.FinishAbort()
+	tx.Reset()
+	if tx.State() != StateRunning || tx.TS() != 42 || tx.Attempt != 1 {
+		t.Fatalf("after reset: %v", tx)
+	}
+	if tx.Cause() != CauseNone {
+		t.Fatal("cause not cleared")
+	}
+	tx.ResetWithNewTS()
+	if tx.HasTS() {
+		t.Fatal("ResetWithNewTS kept timestamp")
+	}
+}
+
+func TestCommitWoundRaceIsExclusive(t *testing.T) {
+	// Exactly one of BeginCommit / SetAbort wins, under contention.
+	for i := 0; i < 2000; i++ {
+		tx := New(uint64(i))
+		var commit, wound atomic.Int32
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			if tx.BeginCommit() {
+				commit.Add(1)
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			if tx.SetAbort(CauseWound) {
+				wound.Add(1)
+			}
+		}()
+		wg.Wait()
+		if commit.Load()+wound.Load() != 1 {
+			t.Fatalf("iteration %d: commit=%d wound=%d", i, commit.Load(), wound.Load())
+		}
+	}
+}
+
+func TestDynamicTimestampAssignment(t *testing.T) {
+	var counter atomic.Uint64
+	tx := New(1)
+	if tx.HasTS() {
+		t.Fatal("fresh txn has timestamp")
+	}
+	ts := tx.AssignTSIfUnassigned(&counter)
+	if ts != 1 || tx.TS() != 1 {
+		t.Fatalf("ts = %d", ts)
+	}
+	if got := tx.AssignTSIfUnassigned(&counter); got != 1 {
+		t.Fatalf("second assignment changed ts: %d", got)
+	}
+	// Concurrent assignment converges to one value.
+	tx2 := New(2)
+	var wg sync.WaitGroup
+	results := make([]uint64, 8)
+	for i := range results {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = tx2.AssignTSIfUnassigned(&counter)
+		}(i)
+	}
+	wg.Wait()
+	for _, r := range results {
+		if r != tx2.TS() {
+			t.Fatalf("divergent assignment: %v vs %d", results, tx2.TS())
+		}
+	}
+}
+
+func TestOlder(t *testing.T) {
+	a, b := New(1), New(2)
+	a.SetTS(5)
+	b.SetTS(9)
+	if !a.Older(b) || b.Older(a) {
+		t.Fatal("Older wrong")
+	}
+}
+
+func TestSemaphore(t *testing.T) {
+	tx := New(1)
+	tx.SemIncr()
+	tx.SemIncr()
+	tx.SemDecr()
+	if tx.Sem() != 1 {
+		t.Fatalf("sem = %d", tx.Sem())
+	}
+}
+
+func TestStrings(t *testing.T) {
+	if StateRunning.String() != "running" || StateAborted.String() != "aborted" {
+		t.Fatal("state strings")
+	}
+	if CauseWound.String() != "wound" || CauseCascade.String() != "cascade" ||
+		CauseUser.String() != "user" || CauseValidation.String() != "validation" {
+		t.Fatal("cause strings")
+	}
+	tx := New(7)
+	if got := tx.String(); got == "" {
+		t.Fatal("empty String()")
+	}
+}

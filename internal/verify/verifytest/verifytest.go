@@ -1,0 +1,306 @@
+// Package verifytest provides reusable randomized correctness harnesses
+// run against every concurrency-control engine in the repository: a
+// serializability check built on internal/verify and a bank-transfer
+// conservation check. The engines under test only need to implement
+// core.Engine.
+package verifytest
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"bamboo/internal/core"
+	"bamboo/internal/lock"
+	"bamboo/internal/storage"
+	"bamboo/internal/verify"
+)
+
+// stampSchema is the row layout of the verification table: a writer stamp
+// and a payload value.
+var stampSchema = func() *storage.Schema {
+	return storage.NewSchema("vrows",
+		storage.Column{Name: "stamp", Type: storage.ColInt64},
+		storage.Column{Name: "val", Type: storage.ColInt64},
+	)
+}
+
+// Options tunes the randomized serializability run.
+type Options struct {
+	Rows       int
+	Workers    int
+	PerWorker  int
+	OpsPerTxn  int
+	WriteRatio float64 // probability an op is an update
+	Seed       int64
+}
+
+// DefaultOptions is a contentious configuration that exercises dirty
+// reads, cascades and wounds heavily (few rows, many workers).
+func DefaultOptions() Options {
+	return Options{Rows: 8, Workers: 8, PerWorker: 150, OpsPerTxn: 4, WriteRatio: 0.5, Seed: 1}
+}
+
+// BuildDB creates the verification table inside db.
+func BuildDB(db *core.DB, rows int) *storage.Table {
+	tbl := db.Catalog.MustCreateTable(stampSchema(), rows)
+	for k := 0; k < rows; k++ {
+		img := tbl.Schema.NewRowImage()
+		// stamp 0 = verify.InitialStamp
+		tbl.MustInsertRow(uint64(k), img)
+	}
+	return tbl
+}
+
+// RunSerializability drives a random contentious workload through the
+// engine and checks the committed history for serializability. The engine
+// must have been created over a DB configured with CaptureReads and must
+// expose SetOnCommit (i.e. a core.DB-backed engine).
+func RunSerializability(t *testing.T, e core.Engine, opts Options) {
+	t.Helper()
+	db := e.Database()
+	tbl := db.Catalog.Table("vrows")
+	if tbl == nil {
+		tbl = BuildDB(db, opts.Rows)
+	}
+	schema := tbl.Schema
+	stampCol := schema.ColIndex("stamp")
+	valCol := schema.ColIndex("val")
+
+	hist := verify.New()
+	var stampCtr atomic.Uint64
+	stampCtr.Store(1 << 32) // keep stamps disjoint from txn ids
+
+	// Per-attempt stamps: fn bodies draw a fresh stamp every invocation,
+	// so an aborted attempt's dirty writes can never be confused with the
+	// committed retry's.
+	type commitInfo struct {
+		ts       uint64
+		worker   int
+		accesses []core.AccessInfo
+	}
+	var mu sync.Mutex
+	commitLog := make(map[uint64]commitInfo)
+
+	db.SetOnCommit(func(worker int, txnID, ts uint64, accesses []core.AccessInfo, inserts int) {
+		var reads []verify.Read
+		var wrote []string
+		var myStamp uint64
+		for _, a := range accesses {
+			if a.Mode == lock.EX {
+				wrote = append(wrote, a.Table+"/"+itoa(a.Key))
+				myStamp = uint64(schema.GetInt64(a.Wrote, stampCol))
+				if a.Read != nil {
+					reads = append(reads, verify.Read{
+						Row:   a.Table + "/" + itoa(a.Key),
+						Stamp: uint64(schema.GetInt64(a.Read, stampCol)),
+					})
+				}
+			} else {
+				reads = append(reads, verify.Read{
+					Row:   a.Table + "/" + itoa(a.Key),
+					Stamp: uint64(schema.GetInt64(a.Read, stampCol)),
+				})
+			}
+		}
+		id := txnID
+		if myStamp != 0 {
+			id = myStamp
+		}
+		mu.Lock()
+		commitLog[id] = commitInfo{ts: ts, worker: worker, accesses: accesses}
+		mu.Unlock()
+		hist.RecordCommit(id, reads, wrote)
+	})
+	dumpTxn := func(t *testing.T, id uint64) {
+		mu.Lock()
+		defer mu.Unlock()
+		ci, ok := commitLog[id]
+		if !ok {
+			t.Logf("  txn %d: not in commit log", id)
+			return
+		}
+		t.Logf("  txn %d: ts=%d worker=%d", id, ci.ts, ci.worker)
+		for _, a := range ci.accesses {
+			var rd, wr int64 = -1, -1
+			if a.Read != nil {
+				rd = schema.GetInt64(a.Read, stampCol)
+			}
+			if a.Wrote != nil {
+				wr = schema.GetInt64(a.Wrote, stampCol)
+			}
+			t.Logf("    %s key=%d mode=%v dirty=%v readStamp=%d wroteStamp=%d",
+				a.Table, a.Key, a.Mode, a.Dirty, rd, wr)
+		}
+	}
+
+	gen := func(worker, seq int) core.TxnFunc {
+		rng := rand.New(rand.NewSource(opts.Seed + int64(worker)*1e6 + int64(seq)))
+		keys := pickDistinct(rng, opts.Rows, opts.OpsPerTxn)
+		writes := make([]bool, len(keys))
+		for i := range keys {
+			writes[i] = rng.Float64() < opts.WriteRatio
+		}
+		return func(tx core.Tx) error {
+			tx.DeclareOps(len(keys))
+			stamp := stampCtr.Add(1)
+			for i, k := range keys {
+				row := tbl.Get(uint64(k))
+				if writes[i] {
+					err := tx.Update(row, func(img []byte) {
+						schema.SetInt64(img, stampCol, int64(stamp))
+						schema.AddInt64(img, valCol, 1)
+					})
+					if err != nil {
+						return err
+					}
+				} else {
+					if _, err := tx.Read(row); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		}
+	}
+
+	res := core.RunN(e, opts.Workers, opts.PerWorker, gen)
+	if res.Err != nil {
+		t.Fatalf("%s: run failed: %v", e.Name(), res.Err)
+	}
+	want := uint64(opts.Workers * opts.PerWorker)
+	if res.Report.Commits != want {
+		t.Fatalf("%s: commits = %d, want %d", e.Name(), res.Report.Commits, want)
+	}
+	if hist.Commits() != int(want) {
+		t.Fatalf("%s: history has %d commits, want %d", e.Name(), hist.Commits(), want)
+	}
+	if err := hist.Check(); err != nil {
+		for _, id := range extractIDs(err.Error()) {
+			dumpTxn(t, id)
+		}
+		t.Fatalf("%s: %v", e.Name(), err)
+	}
+	checkEntriesDrained(t, e, tbl, opts.Rows)
+}
+
+// RunBankConservation transfers money between accounts concurrently and
+// checks the total is conserved — an end-to-end atomicity+isolation check
+// that also exercises rollback restore paths.
+func RunBankConservation(t *testing.T, e core.Engine, accounts, workers, perWorker int) {
+	t.Helper()
+	db := e.Database()
+	schema := storage.NewSchema("accounts",
+		storage.Column{Name: "balance", Type: storage.ColInt64})
+	tbl := db.Catalog.MustCreateTable(schema, accounts)
+	const initial = 1000
+	for k := 0; k < accounts; k++ {
+		img := schema.NewRowImage()
+		schema.SetInt64(img, 0, initial)
+		tbl.MustInsertRow(uint64(k), img)
+	}
+
+	gen := func(worker, seq int) core.TxnFunc {
+		rng := rand.New(rand.NewSource(int64(worker)*1e6 + int64(seq)))
+		from := rng.Intn(accounts)
+		to := rng.Intn(accounts - 1)
+		if to >= from {
+			to++
+		}
+		amount := int64(rng.Intn(50) + 1)
+		return func(tx core.Tx) error {
+			tx.DeclareOps(2)
+			if err := tx.Update(tbl.Get(uint64(from)), func(img []byte) {
+				schema.AddInt64(img, 0, -amount)
+			}); err != nil {
+				return err
+			}
+			return tx.Update(tbl.Get(uint64(to)), func(img []byte) {
+				schema.AddInt64(img, 0, amount)
+			})
+		}
+	}
+	res := core.RunN(e, workers, perWorker, gen)
+	if res.Err != nil {
+		t.Fatalf("%s: run failed: %v", e.Name(), res.Err)
+	}
+	var total int64
+	for k := 0; k < accounts; k++ {
+		total += schema.GetInt64(RowImage(tbl.Get(uint64(k))), 0)
+	}
+	if want := int64(accounts * initial); total != want {
+		t.Fatalf("%s: total balance = %d, want %d (money not conserved)", e.Name(), total, want)
+	}
+	checkEntriesDrained(t, e, tbl, accounts)
+}
+
+// RowImage returns the row's committed image regardless of engine: the
+// OCC-published image when present, else the lock entry's image.
+func RowImage(row *storage.Row) []byte {
+	if p := row.OCCImage.Load(); p != nil {
+		return *p
+	}
+	return row.Entry.CurrentData()
+}
+
+func checkEntriesDrained(t *testing.T, e core.Engine, tbl *storage.Table, rows int) {
+	t.Helper()
+	for k := 0; k < rows; k++ {
+		row := tbl.Get(uint64(k))
+		if ret, own, wait := row.Entry.Snapshot(); ret+own+wait != 0 {
+			t.Errorf("%s: row %d entry not drained: retired=%d owners=%d waiters=%d",
+				e.Name(), k, ret, own, wait)
+		}
+		if err := row.Entry.CheckInvariants(); err != nil {
+			t.Errorf("%s: row %d: %v", e.Name(), k, err)
+		}
+	}
+}
+
+func pickDistinct(rng *rand.Rand, n, k int) []int {
+	if k > n {
+		k = n
+	}
+	perm := rng.Perm(n)
+	keys := perm[:k]
+	return keys
+}
+
+// extractIDs pulls the txn ids out of a verify error message for dumping.
+func extractIDs(s string) []uint64 {
+	var ids []uint64
+	seen := map[uint64]bool{}
+	cur, in := uint64(0), false
+	flush := func() {
+		if in && cur > 1<<30 && !seen[cur] {
+			seen[cur] = true
+			ids = append(ids, cur)
+		}
+		cur, in = 0, false
+	}
+	for _, c := range s {
+		if c >= '0' && c <= '9' {
+			cur = cur*10 + uint64(c-'0')
+			in = true
+		} else {
+			flush()
+		}
+	}
+	flush()
+	return ids
+}
+
+func itoa(v uint64) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

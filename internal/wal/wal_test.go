@@ -1,0 +1,125 @@
+package wal
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func sample() *Record {
+	return &Record{
+		TxnID: 42,
+		Writes: []Write{
+			{Table: "warehouse", Key: 7, Image: []byte{1, 2, 3}},
+			{Table: "district", Key: 71, Image: nil},
+		},
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	rec := sample()
+	got, err := Decode(Encode(rec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TxnID != rec.TxnID || len(got.Writes) != 2 {
+		t.Fatalf("round trip: %+v", got)
+	}
+	if got.Writes[0].Table != "warehouse" || got.Writes[0].Key != 7 ||
+		!bytes.Equal(got.Writes[0].Image, []byte{1, 2, 3}) {
+		t.Fatalf("write 0: %+v", got.Writes[0])
+	}
+	if len(got.Writes[1].Image) != 0 {
+		t.Fatalf("write 1 image: %v", got.Writes[1].Image)
+	}
+}
+
+func TestDecodeRejectsCorrupt(t *testing.T) {
+	enc := Encode(sample())
+	for _, cut := range []int{1, 11, len(enc) - 1} {
+		if _, err := Decode(enc[:cut]); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+	if _, err := Decode(append(enc, 0)); err == nil {
+		t.Error("trailing byte accepted")
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(id uint64, table string, key uint64, img []byte) bool {
+		if len(table) > 1000 {
+			table = table[:1000]
+		}
+		rec := &Record{TxnID: id, Writes: []Write{{Table: table, Key: key, Image: img}}}
+		got, err := Decode(Encode(rec))
+		if err != nil {
+			return false
+		}
+		return got.TxnID == id && got.Writes[0].Table == table &&
+			got.Writes[0].Key == key && bytes.Equal(got.Writes[0].Image, img)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMemDevice(t *testing.T) {
+	dev := NewMemDevice(true)
+	l := New(dev)
+	for i := 0; i < 3; i++ {
+		lsn, err := l.Commit(sample())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lsn != uint64(i+1) {
+			t.Fatalf("lsn = %d", lsn)
+		}
+	}
+	if dev.Len() != 3 || dev.Bytes() == 0 {
+		t.Fatalf("len=%d bytes=%d", dev.Len(), dev.Bytes())
+	}
+	recs, err := dev.Records()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 || !reflect.DeepEqual(recs[0], sample()) {
+		t.Fatalf("records: %+v", recs)
+	}
+}
+
+func TestNilDeviceDefaults(t *testing.T) {
+	l := New(nil)
+	if _, err := l.Commit(sample()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriterDeviceAndReadAll(t *testing.T) {
+	var buf bytes.Buffer
+	l := New(NewWriterDevice(&buf))
+	want := []*Record{sample(), {TxnID: 1}, sample()}
+	for _, r := range want {
+		if _, err := l.Commit(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("ReadAll = %+v", got)
+	}
+	// Truncated stream errors.
+	var buf2 bytes.Buffer
+	l2 := New(NewWriterDevice(&buf2))
+	if _, err := l2.Commit(sample()); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf2.Bytes()[:buf2.Len()-2]
+	if _, err := ReadAll(bytes.NewReader(trunc)); err == nil {
+		t.Fatal("truncated stream accepted")
+	}
+}

@@ -1,0 +1,72 @@
+package synth_test
+
+import (
+	"testing"
+
+	"bamboo/internal/core"
+	"bamboo/internal/workload/synth"
+)
+
+func TestHotspotCounterConservation(t *testing.T) {
+	for _, name := range []string{"BAMBOO", "WOUND_WAIT", "NO_WAIT"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			var cfg core.Config
+			switch name {
+			case "BAMBOO":
+				cfg = core.Bamboo()
+			case "WOUND_WAIT":
+				cfg = core.WoundWait()
+			default:
+				cfg = core.NoWait()
+			}
+			db := core.NewDB(cfg)
+			wcfg := synth.Config{Rows: 2000, TxnLen: 8, HotspotPos: []float64{0, 1}, PayloadCols: 1}
+			w, err := synth.Load(db, wcfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res := core.RunN(core.NewLockEngine(db), 8, 150, w.Generator())
+			if res.Err != nil {
+				t.Fatal(res.Err)
+			}
+			want := int64(8 * 150)
+			for i := 0; i < 2; i++ {
+				if got := w.HotValue(i); got != want {
+					t.Fatalf("hot tuple %d counter = %d, want %d", i, got, want)
+				}
+			}
+		})
+	}
+}
+
+func TestHotspotPositions(t *testing.T) {
+	db := core.NewDB(core.Bamboo())
+	w, err := synth.Load(db, synth.Config{
+		Rows: 100, TxnLen: 16, HotspotPos: []float64{1, 0, 0.5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.HotRows()) != 3 {
+		t.Fatalf("hot rows = %d, want 3", len(w.HotRows()))
+	}
+	// One transaction executes without contention and touches all three.
+	res := core.RunN(core.NewLockEngine(db), 1, 1, w.Generator())
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	for i := 0; i < 3; i++ {
+		if got := w.HotValue(i); got != 1 {
+			t.Fatalf("hot tuple %d counter = %d, want 1", i, got)
+		}
+	}
+}
+
+func TestLoadRejectsTinyTable(t *testing.T) {
+	db := core.NewDB(core.Bamboo())
+	if _, err := synth.Load(db, synth.Config{Rows: 4, TxnLen: 16, HotspotPos: []float64{0}}); err == nil {
+		t.Fatal("expected error for tiny table")
+	}
+}

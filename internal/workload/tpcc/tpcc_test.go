@@ -1,0 +1,183 @@
+package tpcc_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"bamboo/internal/chop"
+	"bamboo/internal/core"
+	"bamboo/internal/occ"
+	"bamboo/internal/workload/tpcc"
+)
+
+func testConfig(warehouses int) tpcc.Config {
+	cfg := tpcc.DefaultConfig()
+	cfg.Warehouses = warehouses
+	cfg.Items = 200
+	cfg.CustomersPerDistrict = 60
+	return cfg
+}
+
+func runMix(t *testing.T, e core.Engine, w *tpcc.Workload, workers, perWorker int) {
+	t.Helper()
+	res := core.RunN(e, workers, perWorker, w.Generator())
+	if res.Err != nil {
+		t.Fatalf("%s: %v", e.Name(), res.Err)
+	}
+	total := uint64(workers * perWorker)
+	if res.Report.Commits+res.Report.AbortsBy["user"] != total {
+		t.Fatalf("%s: commits=%d + user aborts=%d != %d",
+			e.Name(), res.Report.Commits, res.Report.AbortsBy["user"], total)
+	}
+	if err := w.CheckConsistency(); err != nil {
+		t.Fatalf("%s: %v", e.Name(), err)
+	}
+}
+
+func TestTPCCConsistencyAllProtocols(t *testing.T) {
+	configs := map[string]core.Config{
+		"BAMBOO":      core.Bamboo(),
+		"BAMBOO-base": core.BambooBase(),
+		"WOUND_WAIT":  core.WoundWait(),
+		"WAIT_DIE":    core.WaitDie(),
+		"NO_WAIT":     core.NoWait(),
+	}
+	for name, cfg := range configs {
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			db := core.NewDB(cfg)
+			w, err := tpcc.Load(db, testConfig(1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			runMix(t, core.NewLockEngine(db), w, 8, 100)
+		})
+	}
+}
+
+func TestTPCCConsistencySilo(t *testing.T) {
+	db := core.NewDB(core.Config{})
+	w, err := tpcc.Load(db, testConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := occ.New(db)
+	defer e.Close()
+	runMix(t, e, w, 8, 100)
+}
+
+func TestTPCCMultiWarehouse(t *testing.T) {
+	db := core.NewDB(core.Bamboo())
+	w, err := tpcc.Load(db, testConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	runMix(t, core.NewLockEngine(db), w, 8, 100)
+}
+
+func TestTPCCModifiedNewOrder(t *testing.T) {
+	cfg := testConfig(1)
+	cfg.ModifiedNewOrder = true
+	db := core.NewDB(core.Bamboo())
+	w, err := tpcc.Load(db, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runMix(t, core.NewLockEngine(db), w, 4, 100)
+}
+
+func TestTPCCUserAbortRate(t *testing.T) {
+	cfg := testConfig(1)
+	cfg.PaymentFraction = 0 // NewOrder only
+	cfg.UserAbortPct = 50   // amplified for a small-sample check
+	db := core.NewDB(core.Bamboo())
+	w, err := tpcc.Load(db, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := core.NewLockEngine(db)
+	res := core.RunN(e, 4, 200, w.Generator())
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	user := res.Report.AbortsBy["user"]
+	frac := float64(user) / 800
+	if frac < 0.35 || frac > 0.65 {
+		t.Fatalf("user abort fraction = %.2f, want ≈0.5", frac)
+	}
+	if err := w.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenNewOrderDistinctItems(t *testing.T) {
+	db := core.NewDB(core.Bamboo())
+	w, err := tpcc.Load(db, testConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		a := w.GenNewOrder(rng)
+		if len(a.Items) < 5 || len(a.Items) > 15 {
+			t.Fatalf("order has %d items", len(a.Items))
+		}
+		seen := map[int64]bool{}
+		for _, it := range a.Items {
+			if seen[it.IID] {
+				t.Fatal("duplicate item id in order")
+			}
+			seen[it.IID] = true
+		}
+	}
+}
+
+func TestGenPaymentRemoteFraction(t *testing.T) {
+	db := core.NewDB(core.Bamboo())
+	w, err := tpcc.Load(db, testConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	remote := 0
+	const n = 5000
+	for i := 0; i < n; i++ {
+		a := w.GenPayment(rng)
+		if a.CWID != a.WID {
+			remote++
+		}
+	}
+	frac := float64(remote) / n
+	if frac < 0.10 || frac > 0.20 {
+		t.Fatalf("remote payment fraction = %.3f, want ≈0.15", frac)
+	}
+}
+
+func TestTPCCConsistencyIC3(t *testing.T) {
+	for _, modified := range []bool{false, true} {
+		name := "original"
+		if modified {
+			name = "modified"
+		}
+		t.Run(name, func(t *testing.T) {
+			cfg := testConfig(1)
+			cfg.ModifiedNewOrder = modified
+			db := core.NewDB(core.Config{})
+			w, err := tpcc.Load(db, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			reg, payment, neworder := w.ChopRegistry()
+			if reg.Merges() != 0 {
+				t.Fatalf("TPC-C templates merged %d times; table orders agree, expected none", reg.Merges())
+			}
+			e := chop.New(db, reg)
+			if _, err := w.RunIC3(e, payment, neworder, 8, 80); err != nil {
+				t.Fatal(err)
+			}
+			if err := w.CheckConsistency(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

@@ -1,0 +1,334 @@
+package tpcc
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"bamboo/internal/core"
+)
+
+// PaymentArgs are the inputs of one Payment transaction.
+type PaymentArgs struct {
+	WID, DID int64
+	// Customer selection: by last name (60%) or by id (40%).
+	ByLastName bool
+	CLast      string
+	CID        int64
+	// CWID/CDID locate the customer (15% remote warehouse).
+	CWID, CDID int64
+	Amount     int64 // cents
+}
+
+// NewOrderArgs are the inputs of one NewOrder transaction.
+type NewOrderArgs struct {
+	WID, DID, CID int64
+	Items         []OrderItem
+	// Rollback simulates the 1% user abort on an unused item number.
+	Rollback bool
+	AllLocal bool
+}
+
+// OrderItem is one order line request.
+type OrderItem struct {
+	IID      int64
+	SupplyW  int64
+	Quantity int64
+}
+
+// GenPayment draws Payment arguments per the TPC-C spec.
+func (w *Workload) GenPayment(rng *rand.Rand) PaymentArgs {
+	wid := int64(rng.Intn(w.cfg.Warehouses))
+	did := int64(rng.Intn(distPerWarehouse))
+	a := PaymentArgs{
+		WID: wid, DID: did,
+		CWID: wid, CDID: did,
+		Amount: int64(rng.Intn(499901) + 100), // $1.00–$5000.00
+	}
+	if w.cfg.Warehouses > 1 && rng.Intn(100) < w.cfg.RemotePaymentPct {
+		a.CWID = int64(rng.Intn(w.cfg.Warehouses - 1))
+		if a.CWID >= wid {
+			a.CWID++
+		}
+		a.CDID = int64(rng.Intn(distPerWarehouse))
+	}
+	if rng.Intn(100) < 60 {
+		a.ByLastName = true
+		a.CLast = lastName(nuRand(rng, 255, 223, 0, 999))
+	} else {
+		a.CID = int64(nuRand(rng, 1023, 259, 0, w.cfg.CustomersPerDistrict-1))
+	}
+	return a
+}
+
+// GenNewOrder draws NewOrder arguments per the TPC-C spec. Item ids are
+// de-duplicated within an order (DBx1000 does the same) so each stock row
+// is written once, which lets Bamboo retire it at the last write.
+func (w *Workload) GenNewOrder(rng *rand.Rand) NewOrderArgs {
+	wid := int64(rng.Intn(w.cfg.Warehouses))
+	a := NewOrderArgs{
+		WID:      wid,
+		DID:      int64(rng.Intn(distPerWarehouse)),
+		CID:      int64(nuRand(rng, 1023, 259, 0, w.cfg.CustomersPerDistrict-1)),
+		AllLocal: true,
+	}
+	n := rng.Intn(11) + 5 // 5–15 lines
+	used := make(map[int64]bool, n)
+	for len(a.Items) < n {
+		iid := int64(nuRand(rng, 8191, 7911, 0, w.cfg.Items-1))
+		if used[iid] {
+			continue
+		}
+		used[iid] = true
+		it := OrderItem{IID: iid, SupplyW: wid, Quantity: int64(rng.Intn(10) + 1)}
+		if w.cfg.Warehouses > 1 && rng.Intn(100) < w.cfg.RemoteStockPct {
+			it.SupplyW = int64(rng.Intn(w.cfg.Warehouses - 1))
+			if it.SupplyW >= wid {
+				it.SupplyW++
+			}
+			a.AllLocal = false
+		}
+		a.Items = append(a.Items, it)
+	}
+	if w.cfg.UserAbortPct > 0 && rng.Intn(100) < w.cfg.UserAbortPct {
+		a.Rollback = true
+	}
+	return a
+}
+
+// Payment's per-step helpers are shared by the row-engine transaction
+// body and the IC3 piece bodies.
+
+// PayWarehouse adds the payment amount to W_YTD.
+func (w *Workload) PayWarehouse(tx core.Tx, a *PaymentArgs) error {
+	return tx.Update(w.Warehouse.Get(uint64(a.WID)), func(img []byte) {
+		w.Warehouse.Schema.AddInt64(img, w.wc.YTD, a.Amount)
+	})
+}
+
+// PayDistrict adds the payment amount to D_YTD.
+func (w *Workload) PayDistrict(tx core.Tx, a *PaymentArgs) error {
+	return tx.Update(w.District.Get(districtKey(a.WID, a.DID)), func(img []byte) {
+		w.District.Schema.AddInt64(img, w.dc.YTD, a.Amount)
+	})
+}
+
+// resolveCustomer maps by-last-name selection to a concrete id.
+func (w *Workload) resolveCustomer(a *PaymentArgs) int64 {
+	if !a.ByLastName {
+		return a.CID
+	}
+	ids := w.byLastName[lastNameKey(a.CWID, a.CDID, a.CLast)]
+	if len(ids) == 0 {
+		// No customer with this name at this district (possible at
+		// reduced scale): fall back to a deterministic id.
+		return 0
+	}
+	return ids[len(ids)/2] // spec: ceiling(n/2) position
+}
+
+// PayCustomer applies the payment to the customer row.
+func (w *Workload) PayCustomer(tx core.Tx, a *PaymentArgs) error {
+	cid := w.resolveCustomer(a)
+	cs := w.Customer.Schema
+	return tx.Update(w.Customer.Get(customerKey(a.CWID, a.CDID, cid)), func(img []byte) {
+		cs.AddInt64(img, w.cc.Balance, -a.Amount)
+		cs.AddInt64(img, w.cc.YTDPayment, a.Amount)
+		cs.AddInt64(img, w.cc.PaymentCnt, 1)
+		if string(cs.GetBytes(img, w.cc.Credit)) == "BC" {
+			data := fmt.Sprintf("%d,%d,%d,%d,%d", cid, a.CDID, a.CWID, a.DID, a.Amount)
+			cs.SetBytes(img, w.cc.Data, []byte(data))
+		}
+	})
+}
+
+// PayHistory inserts the history row.
+func (w *Workload) PayHistory(tx core.Tx, a *PaymentArgs) error {
+	hs := w.HistoryTbl.Schema
+	img := hs.NewRowImage()
+	hs.SetInt64(img, w.hc.CID, w.resolveCustomer(a))
+	hs.SetInt64(img, w.hc.CDID, a.CDID)
+	hs.SetInt64(img, w.hc.CWID, a.CWID)
+	hs.SetInt64(img, w.hc.DID, a.DID)
+	hs.SetInt64(img, w.hc.WID, a.WID)
+	hs.SetInt64(img, w.hc.Amount, a.Amount)
+	return tx.Insert(w.HistoryTbl, w.histKeys.Add(1), img)
+}
+
+// Payment returns the transaction body for args.
+//
+// Access order matches DBx1000: warehouse (the hotspot) first, then
+// district, then customer, then the history insert. With one warehouse
+// the W_YTD update is the global hotspot at the transaction's beginning —
+// the best case for Bamboo's early retiring.
+func (w *Workload) Payment(a PaymentArgs) core.TxnFunc {
+	return func(tx core.Tx) error {
+		tx.DeclareOps(3)
+		if err := w.PayWarehouse(tx, &a); err != nil {
+			return err
+		}
+		if err := w.PayDistrict(tx, &a); err != nil {
+			return err
+		}
+		if err := w.PayCustomer(tx, &a); err != nil {
+			return err
+		}
+		return w.PayHistory(tx, &a)
+	}
+}
+
+// NewOrderState carries per-transaction state between NewOrder's steps
+// (and, under IC3, between its pieces).
+type NewOrderState struct {
+	Args NewOrderArgs
+	OID  int64
+	WTax int64
+	DTax int64
+}
+
+// NOWarehouse reads W_TAX (and, with ModifiedNewOrder, W_YTD — the §5.6
+// "true conflict" with Payment, free for row-granularity protocols).
+func (w *Workload) NOWarehouse(tx core.Tx, st *NewOrderState) error {
+	ws := w.Warehouse.Schema
+	wImg, err := tx.Read(w.Warehouse.Get(uint64(st.Args.WID)))
+	if err != nil {
+		return err
+	}
+	st.WTax = ws.GetInt64(wImg, w.wc.Tax)
+	if w.cfg.ModifiedNewOrder {
+		_ = ws.GetInt64(wImg, w.wc.YTD)
+	}
+	return nil
+}
+
+// NODistrict draws the order id from D_NEXT_O_ID.
+func (w *Workload) NODistrict(tx core.Tx, st *NewOrderState) error {
+	ds := w.District.Schema
+	return tx.Update(w.District.Get(districtKey(st.Args.WID, st.Args.DID)), func(img []byte) {
+		st.OID = ds.GetInt64(img, w.dc.NextOID)
+		ds.SetInt64(img, w.dc.NextOID, st.OID+1)
+		st.DTax = ds.GetInt64(img, w.dc.Tax)
+	})
+}
+
+// NOCustomer reads the ordering customer.
+func (w *Workload) NOCustomer(tx core.Tx, st *NewOrderState) error {
+	_, err := tx.Read(w.Customer.Get(customerKey(st.Args.WID, st.Args.DID, st.Args.CID)))
+	return err
+}
+
+// NOItems processes the order lines: item reads, stock updates,
+// order-line inserts, and the 1% user abort on an invalid item.
+func (w *Workload) NOItems(tx core.Tx, st *NewOrderState) error {
+	a := &st.Args
+	for n, it := range a.Items {
+		if a.Rollback && n == len(a.Items)-1 {
+			// Unused item number: the transaction rolls back (1%).
+			return core.ErrUserAbort
+		}
+		is := w.Item.Schema
+		iImg, err := tx.Read(w.Item.Get(uint64(it.IID)))
+		if err != nil {
+			return err
+		}
+		price := is.GetInt64(iImg, w.ic.Price)
+
+		ss := w.Stock.Schema
+		err = tx.Update(w.Stock.Get(stockKey(it.SupplyW, it.IID)), func(img []byte) {
+			q := ss.GetInt64(img, w.sc.Quantity)
+			if q >= it.Quantity+10 {
+				q -= it.Quantity
+			} else {
+				q = q - it.Quantity + 91
+			}
+			ss.SetInt64(img, w.sc.Quantity, q)
+			ss.AddInt64(img, w.sc.YTD, it.Quantity)
+			ss.AddInt64(img, w.sc.OrderCnt, 1)
+			if it.SupplyW != a.WID {
+				ss.AddInt64(img, w.sc.RemoteCnt, 1)
+			}
+		})
+		if err != nil {
+			return err
+		}
+
+		ols := w.OrderLine.Schema
+		olImg := ols.NewRowImage()
+		ols.SetInt64(olImg, w.olc.OID, st.OID)
+		ols.SetInt64(olImg, w.olc.DID, a.DID)
+		ols.SetInt64(olImg, w.olc.WID, a.WID)
+		ols.SetInt64(olImg, w.olc.Number, int64(n))
+		ols.SetInt64(olImg, w.olc.IID, it.IID)
+		ols.SetInt64(olImg, w.olc.SupplyWID, it.SupplyW)
+		ols.SetInt64(olImg, w.olc.Quantity, it.Quantity)
+		ols.SetInt64(olImg, w.olc.Amount, price*it.Quantity)
+		if err := tx.Insert(w.OrderLine, orderLineKey(a.WID, a.DID, st.OID, int64(n)), olImg); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// NOInsertOrder inserts the orders and new_order rows.
+func (w *Workload) NOInsertOrder(tx core.Tx, st *NewOrderState) error {
+	a := &st.Args
+	os := w.Orders.Schema
+	oImg := os.NewRowImage()
+	os.SetInt64(oImg, w.oc.OID, st.OID)
+	os.SetInt64(oImg, w.oc.DID, a.DID)
+	os.SetInt64(oImg, w.oc.WID, a.WID)
+	os.SetInt64(oImg, w.oc.CID, a.CID)
+	os.SetInt64(oImg, w.oc.EntryD, time.Now().UnixNano())
+	os.SetInt64(oImg, w.oc.OLCnt, int64(len(a.Items)))
+	if a.AllLocal {
+		os.SetInt64(oImg, w.oc.AllLocal, 1)
+	}
+	if err := tx.Insert(w.Orders, orderKey(a.WID, a.DID, st.OID), oImg); err != nil {
+		return err
+	}
+
+	ns := w.NewOrderTbl.Schema
+	nImg := ns.NewRowImage()
+	ns.SetInt64(nImg, w.noc.OID, st.OID)
+	ns.SetInt64(nImg, w.noc.DID, a.DID)
+	ns.SetInt64(nImg, w.noc.WID, a.WID)
+	return tx.Insert(w.NewOrderTbl, orderKey(a.WID, a.DID, st.OID), nImg)
+}
+
+// NewOrder returns the transaction body for args.
+func (w *Workload) NewOrder(a NewOrderArgs) core.TxnFunc {
+	return func(tx core.Tx) error {
+		// warehouse read + district update + customer read + per-item
+		// (item read + stock update).
+		tx.DeclareOps(3 + 2*len(a.Items))
+		st := &NewOrderState{Args: a}
+		for _, step := range []func(core.Tx, *NewOrderState) error{
+			w.NOWarehouse, w.NODistrict, w.NOCustomer, w.NOItems, w.NOInsertOrder,
+		} {
+			if err := step(tx, st); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+// Generator returns the 50/50 NewOrder/Payment mix as a core.Generator.
+func (w *Workload) Generator() core.Generator {
+	var mu sync.Mutex
+	rngs := map[int]*rand.Rand{}
+	return func(worker, seq int) core.TxnFunc {
+		mu.Lock()
+		rng, ok := rngs[worker]
+		if !ok {
+			rng = rand.New(rand.NewSource(w.cfg.Seed + int64(worker)*6364136223846793005 + 1442695040888963407))
+			rngs[worker] = rng
+		}
+		mu.Unlock()
+		if rng.Float64() < w.cfg.PaymentFraction {
+			return w.Payment(w.GenPayment(rng))
+		}
+		return w.NewOrder(w.GenNewOrder(rng))
+	}
+}

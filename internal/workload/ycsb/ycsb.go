@@ -1,0 +1,189 @@
+// Package ycsb implements the YCSB workload as configured in the paper's
+// §5.4: a single table with a primary key and payload columns, 16 accesses
+// per transaction drawn from a Zipfian distribution with skew theta, a
+// configurable read/update ratio, and an optional fraction of long
+// read-only transactions scanning 1000 tuples (Figure 7).
+//
+// The paper's table is 100 M rows (~100 GB); the default here is scaled
+// down, which preserves contention behaviour because the hot set is
+// governed by theta, not the absolute table size.
+package ycsb
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"bamboo/internal/core"
+	"bamboo/internal/storage"
+	"bamboo/internal/zipfian"
+)
+
+// Config parametrizes the workload.
+type Config struct {
+	// Rows is the table size.
+	Rows int
+	// OpsPerTxn is the number of accesses per transaction (paper: 16).
+	OpsPerTxn int
+	// Theta is the Zipfian skew (paper sweeps 0.5–0.99; 0.9 is the
+	// high-contention default).
+	Theta float64
+	// ReadRatio is the probability an access is a read (paper: 0.5).
+	ReadRatio float64
+	// Columns is the number of payload columns (paper: 10).
+	Columns int
+	// ColumnBytes is each payload column's width (paper: 100).
+	ColumnBytes int
+	// LongReadFrac is the fraction of transactions that are long
+	// read-only scans (Figure 7 uses 0.05); LongReadOps is their length
+	// (Figure 7 uses 1000).
+	LongReadFrac float64
+	LongReadOps  int
+	// Seed seeds the generators.
+	Seed int64
+}
+
+// DefaultConfig matches the paper's high-contention setup at reduced
+// scale.
+func DefaultConfig() Config {
+	return Config{
+		Rows: 200000, OpsPerTxn: 16, Theta: 0.9, ReadRatio: 0.5,
+		Columns: 10, ColumnBytes: 100, LongReadOps: 1000,
+	}
+}
+
+// Workload is a loaded YCSB workload.
+type Workload struct {
+	cfg      Config
+	tbl      *storage.Table
+	schema   *storage.Schema
+	stampCol int
+}
+
+// Load creates and populates the YCSB table.
+func Load(db *core.DB, cfg Config) (*Workload, error) {
+	if cfg.Rows <= cfg.OpsPerTxn {
+		return nil, fmt.Errorf("ycsb: %d rows too small", cfg.Rows)
+	}
+	cols := []storage.Column{{Name: "f0", Type: storage.ColInt64}}
+	for i := 1; i < cfg.Columns; i++ {
+		cols = append(cols, storage.Column{
+			Name: fmt.Sprintf("f%d", i), Type: storage.ColBytes, Size: cfg.ColumnBytes,
+		})
+	}
+	schema := storage.NewSchema("ycsb", cols...)
+	tbl, err := db.Catalog.CreateTable(schema, cfg.Rows)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 7))
+	buf := make([]byte, cfg.ColumnBytes)
+	for k := 0; k < cfg.Rows; k++ {
+		img := schema.NewRowImage()
+		for c := 1; c < cfg.Columns; c++ {
+			rng.Read(buf)
+			schema.SetBytes(img, c, buf)
+		}
+		tbl.MustInsertRow(uint64(k), img)
+	}
+	return &Workload{cfg: cfg, tbl: tbl, schema: schema, stampCol: 0}, nil
+}
+
+// Table returns the backing table.
+func (w *Workload) Table() *storage.Table { return w.tbl }
+
+// op is one planned access.
+type op struct {
+	key   uint64
+	write bool
+}
+
+// planTxn draws a transaction's access plan: distinct keys (DBx1000
+// de-duplicates repeated Zipfian draws within a transaction) with the
+// configured write ratio. Keys are sorted hottest-first in draw order —
+// Zipfian rank 0 is the hottest tuple, matching DBx1000's loader.
+func (w *Workload) planTxn(z *zipfian.Zipfian, rng *rand.Rand) []op {
+	n := w.cfg.OpsPerTxn
+	ops := make([]op, 0, n)
+	used := make(map[uint64]bool, n)
+	for len(ops) < n {
+		k := z.Next()
+		if used[k] {
+			continue
+		}
+		used[k] = true
+		ops = append(ops, op{key: k, write: rng.Float64() >= w.cfg.ReadRatio})
+	}
+	return ops
+}
+
+// NewGenerator returns a per-worker generator.
+func (w *Workload) NewGenerator(worker int) func(seq int) core.TxnFunc {
+	seed := w.cfg.Seed + int64(worker)*104729 + 13
+	z := zipfian.New(uint64(w.cfg.Rows), w.cfg.Theta, seed)
+	rng := rand.New(rand.NewSource(seed ^ 0x5deece66d))
+	return func(seq int) core.TxnFunc {
+		if w.cfg.LongReadFrac > 0 && rng.Float64() < w.cfg.LongReadFrac {
+			start := uint64(rng.Intn(w.cfg.Rows - w.cfg.LongReadOps))
+			nOps := w.cfg.LongReadOps
+			return func(tx core.Tx) error {
+				tx.DeclareOps(nOps)
+				for i := 0; i < nOps; i++ {
+					if _, err := tx.Read(w.tbl.Get(start + uint64(i))); err != nil {
+						return err
+					}
+				}
+				return nil
+			}
+		}
+		ops := w.planTxn(z, rng)
+		return func(tx core.Tx) error {
+			tx.DeclareOps(len(ops))
+			for _, o := range ops {
+				row := w.tbl.Get(o.key)
+				if o.write {
+					err := tx.Update(row, func(img []byte) {
+						w.schema.AddInt64(img, w.stampCol, 1)
+					})
+					if err != nil {
+						return err
+					}
+				} else if _, err := tx.Read(row); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+	}
+}
+
+// Generator adapts the workload to core.Generator.
+func (w *Workload) Generator() core.Generator {
+	var mu sync.Mutex
+	gens := map[int]func(int) core.TxnFunc{}
+	return func(worker, seq int) core.TxnFunc {
+		mu.Lock()
+		g, ok := gens[worker]
+		if !ok {
+			g = w.NewGenerator(worker)
+			gens[worker] = g
+		}
+		mu.Unlock()
+		return g(seq)
+	}
+}
+
+// TotalWrites sums the f0 counters across the table — equal to the number
+// of committed updates, for conservation checks.
+func (w *Workload) TotalWrites() int64 {
+	var total int64
+	for k := 0; k < w.cfg.Rows; k++ {
+		row := w.tbl.Get(uint64(k))
+		img := row.Entry.CurrentData()
+		if p := row.OCCImage.Load(); p != nil {
+			img = *p
+		}
+		total += w.schema.GetInt64(img, w.stampCol)
+	}
+	return total
+}

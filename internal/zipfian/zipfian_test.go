@@ -1,0 +1,88 @@
+package zipfian
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestUniformWhenThetaZero(t *testing.T) {
+	z := New(1000, 0, 1)
+	frac := z.HotSetFraction(0.1, 200000)
+	if frac < 0.08 || frac > 0.12 {
+		t.Fatalf("theta=0: hottest 10%% got %.3f of accesses, want ≈0.10", frac)
+	}
+}
+
+// TestPaperCalibration checks the skew levels the paper quotes in §5.4:
+// with theta 0.6 / 0.8 the hottest 10% of tuples attract ~40% / ~60% of
+// accesses.
+func TestPaperCalibration(t *testing.T) {
+	cases := []struct {
+		theta  float64
+		lo, hi float64
+	}{
+		{0.6, 0.32, 0.48},
+		{0.8, 0.52, 0.68},
+	}
+	for _, c := range cases {
+		z := New(1_000_000, c.theta, 42)
+		frac := z.HotSetFraction(0.1, 300000)
+		if frac < c.lo || frac > c.hi {
+			t.Errorf("theta=%.1f: hot-10%% fraction = %.3f, want in [%.2f,%.2f]",
+				c.theta, frac, c.lo, c.hi)
+		}
+	}
+}
+
+func TestRangeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		z := New(100, 0.9, seed)
+		for i := 0; i < 1000; i++ {
+			if z.Next() >= 100 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMonotoneSkew(t *testing.T) {
+	// Higher theta concentrates more mass on the head.
+	prev := 0.0
+	for _, theta := range []float64{0, 0.5, 0.9, 0.99} {
+		z := New(10000, theta, 7)
+		frac := z.HotSetFraction(0.01, 100000)
+		if frac+0.02 < prev {
+			t.Fatalf("theta=%.2f: hot fraction %.3f decreased from %.3f", theta, frac, prev)
+		}
+		prev = frac
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(1000, 0.9, 5), New(1000, 0.9, 5)
+	for i := 0; i < 100; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same seed produced different sequences")
+		}
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	z := New(123, 0.7, 1)
+	if z.N() != 123 || z.Theta() != 0.7 {
+		t.Fatalf("accessors: N=%d theta=%f", z.N(), z.Theta())
+	}
+}
+
+func TestPanicsOnZeroN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for n=0")
+		}
+	}()
+	New(0, 0.5, 1)
+}
