@@ -5,23 +5,35 @@
 //	bamboo-bench -list
 //	bamboo-bench -exp fig6
 //	bamboo-bench -exp all -threads 1,2,4,8,16,32 -duration 1s
+//	bamboo-bench -exp fig6 -quick -json -out BENCH_fig6.json
+//	bamboo-bench -exp all -csv -out results.csv
 //
-// Each experiment prints one block per x-axis value with one line per
-// protocol: throughput, abort rate and the amortized per-transaction time
-// breakdown (lock wait / commit wait / abort / useful), matching the
-// series the paper plots. EXPERIMENTS.md records the measured shapes
-// against the paper's.
+// By default each experiment prints one block per x-axis value with one
+// line per protocol: throughput, abort rate, the amortized per-
+// transaction time breakdown (lock wait / commit wait / abort / useful)
+// and latency percentiles, matching the series the paper plots.
+// EXPERIMENTS.md records the measured shapes against the paper's.
+//
+// With -json the run is emitted as a schema-versioned document
+// (internal/bench/report) carrying the full latency distribution
+// (p50/p90/p95/p99/p99.9) per point — the BENCH_*.json trajectory
+// artifact that cmd/bench-diff consumes as a CI regression gate. -csv
+// emits the same points as one flat table. -out directs either format to
+// a file; without it the document goes to stdout and the human-readable
+// table moves to stderr so piping stays clean.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
 	"time"
 
 	"bamboo/internal/bench"
+	"bamboo/internal/bench/report"
 )
 
 func main() {
@@ -33,6 +45,10 @@ func main() {
 		txns     = flag.Int("txns", 2000, "transactions per worker per point when -duration=0")
 		rows     = flag.Int("rows", 100000, "table rows for synthetic/YCSB workloads")
 		rtt      = flag.Duration("rtt", 100*time.Microsecond, "interactive-mode round trip per operation")
+		quick    = flag.Bool("quick", false, "use the small CI smoke scale (overrides -threads/-duration/-txns/-rows/-rtt)")
+		jsonOut  = flag.Bool("json", false, "emit the schema-versioned JSON result document")
+		csvOut   = flag.Bool("csv", false, "emit results as one flat CSV table")
+		out      = flag.String("out", "", "write -json/-csv output to this file instead of stdout")
 	)
 	flag.Parse()
 
@@ -45,21 +61,34 @@ func main() {
 			os.Exit(0)
 		}
 	}
+	if *jsonOut && *csvOut {
+		fmt.Fprintln(os.Stderr, "-json and -csv are mutually exclusive")
+		os.Exit(2)
+	}
+	if *out != "" && !*jsonOut && !*csvOut {
+		fmt.Fprintln(os.Stderr, "-out requires -json or -csv")
+		os.Exit(2)
+	}
 
-	s := bench.Full()
-	s.Duration = *duration
-	s.TxnsPerWorker = *txns
-	s.Rows = *rows
-	s.RTT = *rtt
-	if *threads != "" {
-		s.Threads = nil
-		for _, part := range strings.Split(*threads, ",") {
-			n, err := strconv.Atoi(strings.TrimSpace(part))
-			if err != nil || n < 1 {
-				fmt.Fprintf(os.Stderr, "bad -threads value %q\n", part)
-				os.Exit(2)
+	var s bench.Scale
+	if *quick {
+		s = bench.Quick()
+	} else {
+		s = bench.Full()
+		s.Duration = *duration
+		s.TxnsPerWorker = *txns
+		s.Rows = *rows
+		s.RTT = *rtt
+		if *threads != "" {
+			s.Threads = nil
+			for _, part := range strings.Split(*threads, ",") {
+				n, err := strconv.Atoi(strings.TrimSpace(part))
+				if err != nil || n < 1 {
+					fmt.Fprintf(os.Stderr, "bad -threads value %q\n", part)
+					os.Exit(2)
+				}
+				s.Threads = append(s.Threads, n)
 			}
-			s.Threads = append(s.Threads, n)
 		}
 	}
 
@@ -75,10 +104,56 @@ func main() {
 		run = []bench.Experiment{*e}
 	}
 
+	// When machine-readable output shares stdout, the table moves to
+	// stderr so `bamboo-bench -json | jq` works.
+	table := io.Writer(os.Stdout)
+	if (*jsonOut || *csvOut) && *out == "" {
+		table = os.Stderr
+	}
+
+	doc := report.NewFile(s.ReportScale())
 	for _, e := range run {
 		start := time.Now()
 		rows := e.Run(s)
-		bench.Print(os.Stdout, fmt.Sprintf("%s (%s, took %v)", e.ID, e.Title, time.Since(start).Round(time.Millisecond)), rows)
-		fmt.Println()
+		took := time.Since(start)
+		doc.Experiments = append(doc.Experiments, bench.ToExperiment(e.ID, e.Title, took, rows))
+		bench.Print(table, fmt.Sprintf("%s (%s, took %v)", e.ID, e.Title, took.Round(time.Millisecond)), rows)
+		fmt.Fprintln(table)
 	}
+
+	if !*jsonOut && !*csvOut {
+		return
+	}
+	var err error
+	switch {
+	case *out != "" && *jsonOut:
+		err = report.Save(*out, doc)
+	case *out != "" && *csvOut:
+		err = writeCSVFile(*out, doc)
+	case *jsonOut:
+		err = report.WriteJSON(os.Stdout, doc)
+	default:
+		err = report.WriteCSV(os.Stdout, doc)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "write results: %v\n", err)
+		os.Exit(1)
+	}
+	if *out != "" {
+		fmt.Fprintf(table, "wrote %s\n", *out)
+	}
+}
+
+// writeCSVFile writes the CSV to path, surfacing the Close error so a
+// short write cannot exit 0.
+func writeCSVFile(path string, doc *report.File) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := report.WriteCSV(f, doc); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

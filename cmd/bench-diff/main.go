@@ -1,0 +1,75 @@
+// Command bench-diff compares two benchmark result documents
+// (BENCH_*.json, written by bamboo-bench -json) and exits non-zero when
+// the second regresses against the first beyond configurable thresholds.
+// It is the CI gate that makes "measurably faster" enforceable: every
+// perf PR runs the bench, diffs against the stored baseline, and fails
+// if throughput dropped or p99 latency rose too far on any point.
+//
+// Usage:
+//
+//	bench-diff old.json new.json
+//	bench-diff -max-tps-drop 0.05 -max-p99-rise 0.50 old.json new.json
+//
+// Points are matched by (experiment id, x label, protocol). Points
+// missing from the new run are reported but do not fail the gate;
+// baseline points below -min-commits are skipped as noise.
+//
+// Exit status: 0 = no regressions, 1 = regressions found, 2 = usage or
+// I/O error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"bamboo/internal/bench/report"
+)
+
+func main() {
+	def := report.DefaultThresholds()
+	var (
+		tpsDrop    = flag.Float64("max-tps-drop", def.ThroughputDrop, "fail when throughput drops by more than this fraction")
+		p99Rise    = flag.Float64("max-p99-rise", def.P99Rise, "fail when p99 latency rises by more than this fraction")
+		minCommits = flag.Uint64("min-commits", def.MinCommits, "skip baseline points with fewer committed transactions")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: bench-diff [flags] old.json new.json\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	old, err := report.Load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	cur, err := report.Load(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	fmt.Printf("baseline %s (%s)  vs  new %s (%s)\n",
+		flag.Arg(0), shortSHA(old.GitSHA), flag.Arg(1), shortSHA(cur.GitSHA))
+	d := report.Compare(old, cur, report.Thresholds{
+		ThroughputDrop: *tpsDrop,
+		P99Rise:        *p99Rise,
+		MinCommits:     *minCommits,
+	})
+	d.Print(os.Stdout)
+	if !d.OK() {
+		os.Exit(1)
+	}
+}
+
+func shortSHA(sha string) string {
+	if len(sha) > 12 {
+		return sha[:12]
+	}
+	return sha
+}

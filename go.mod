@@ -1,0 +1,3 @@
+module bamboo
+
+go 1.24

@@ -19,6 +19,7 @@ import (
 	"sort"
 	"time"
 
+	"bamboo/internal/bench/report"
 	"bamboo/internal/chop"
 	"bamboo/internal/core"
 	"bamboo/internal/occ"
@@ -115,17 +116,29 @@ func Find(id string) *Experiment {
 	return nil
 }
 
-// Print renders rows grouped by X.
-func Print(w io.Writer, title string, rows []Row) {
-	fmt.Fprintf(w, "== %s ==\n", title)
-	lastX := ""
-	for _, r := range rows {
-		if r.X != lastX {
-			fmt.Fprintf(w, "-- %s\n", r.X)
-			lastX = r.X
-		}
-		fmt.Fprintf(w, "   %s\n", r.Report.String())
+// ReportScale converts a Scale into the report schema's units.
+func (s Scale) ReportScale() report.Scale {
+	return report.Scale{
+		Threads:       s.threads(),
+		TxnsPerWorker: s.TxnsPerWorker,
+		DurationNS:    int64(s.Duration),
+		Rows:          s.Rows,
+		RTTNS:         int64(s.RTT),
 	}
+}
+
+// ToExperiment flattens run rows into the report schema.
+func ToExperiment(id, title string, elapsed time.Duration, rows []Row) report.Experiment {
+	e := report.Experiment{ID: id, Title: title, ElapsedNS: int64(elapsed)}
+	for _, r := range rows {
+		e.Points = append(e.Points, report.PointFrom(r.X, r.Report))
+	}
+	return e
+}
+
+// Print renders rows grouped by X in the table format.
+func Print(w io.Writer, title string, rows []Row) {
+	report.WriteTable(w, ToExperiment("", title, 0, rows))
 }
 
 // protocol configuration sets used across figures.

@@ -14,8 +14,14 @@ func tiny() bench.Scale {
 }
 
 // TestAllExperimentsSmoke runs every experiment at tiny scale, checking
-// that each produces rows and every protocol commits work.
+// that each produces rows and every protocol commits work. The full
+// sweep takes ~20 s, so it is skipped under -short (CI runs it in a
+// separate non-race job); TestQuickSmoke keeps one experiment covered
+// in the fast path.
 func TestAllExperimentsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment sweep skipped in -short mode")
+	}
 	for _, e := range bench.All() {
 		e := e
 		t.Run(e.ID, func(t *testing.T) {
@@ -47,10 +53,43 @@ func TestFind(t *testing.T) {
 	}
 }
 
+// TestQuickSmoke runs one real experiment end to end at micro scale and
+// checks the run → report conversion carries the full latency
+// distribution. It stays enabled under -short so the race job still
+// executes a genuine multi-worker benchmark run.
+func TestQuickSmoke(t *testing.T) {
+	s := tiny()
+	s.TxnsPerWorker = 30
+	e := bench.Find("fig6")
+	rows := e.Run(s)
+	if len(rows) == 0 {
+		t.Fatal("no rows produced")
+	}
+	rep := bench.ToExperiment(e.ID, e.Title, time.Second, rows)
+	if rep.ID != "fig6" || len(rep.Points) != len(rows) {
+		t.Fatalf("conversion lost points: %d != %d", len(rep.Points), len(rows))
+	}
+	for _, p := range rep.Points {
+		if p.Commits == 0 {
+			t.Errorf("%s at %s committed nothing", p.Protocol, p.X)
+		}
+		if p.ThroughputTPS <= 0 {
+			t.Errorf("%s at %s has no throughput", p.Protocol, p.X)
+		}
+		l := p.Latency
+		if l.P50 <= 0 || l.P90 < l.P50 || l.P95 < l.P90 || l.P99 < l.P95 || l.P999 < l.P99 || l.Max < l.P999 {
+			t.Errorf("%s at %s latency distribution broken: %+v", p.Protocol, p.X, l)
+		}
+	}
+}
+
 // TestBambooBeatsWoundWaitOnHotspot asserts the paper's core claim at
 // smoke scale: with a single hotspot at the beginning of long
 // transactions, Bamboo outperforms Wound-Wait.
 func TestBambooBeatsWoundWaitOnHotspot(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second hotspot comparison skipped in -short mode")
+	}
 	s := tiny()
 	s.Threads = []int{8}
 	s.TxnsPerWorker = 250

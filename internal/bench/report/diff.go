@@ -1,0 +1,140 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// Thresholds configures what Compare counts as a regression. Fractions
+// are relative: 0.10 means "10% worse than the baseline".
+type Thresholds struct {
+	// ThroughputDrop flags a point whose throughput fell by more than
+	// this fraction of the baseline.
+	ThroughputDrop float64
+	// P99Rise flags a point whose p99 latency rose by more than this
+	// fraction of the baseline.
+	P99Rise float64
+	// MinCommits skips points whose baseline committed fewer
+	// transactions than this — tiny samples are all noise.
+	MinCommits uint64
+}
+
+// DefaultThresholds matches the CI gate: 10% throughput, 25% p99.
+// Latency gets the looser bound because tail percentiles are noisier
+// than means at smoke-bench sample sizes.
+func DefaultThresholds() Thresholds {
+	return Thresholds{ThroughputDrop: 0.10, P99Rise: 0.25, MinCommits: 50}
+}
+
+// Regression is one point-metric pair that crossed a threshold.
+type Regression struct {
+	Experiment string
+	X          string
+	Protocol   string
+	Metric     string // "throughput" or "p99"
+	Old, New   float64
+	// Change is the signed relative delta, negative for drops:
+	// (new-old)/old.
+	Change float64
+}
+
+func (r Regression) String() string {
+	if r.Metric == "throughput" {
+		return fmt.Sprintf("%s / %s / %s: throughput %.0f -> %.0f txn/s (%+.1f%%)",
+			r.Experiment, r.X, r.Protocol, r.Old, r.New, r.Change*100)
+	}
+	return fmt.Sprintf("%s / %s / %s: p99 %v -> %v (%+.1f%%)",
+		r.Experiment, r.X, r.Protocol,
+		time.Duration(r.Old).Round(time.Microsecond),
+		time.Duration(r.New).Round(time.Microsecond),
+		r.Change*100)
+}
+
+// Diff is the outcome of comparing two result documents.
+type Diff struct {
+	// Compared counts the points present in both documents.
+	Compared int
+	// Skipped counts points below the MinCommits floor.
+	Skipped int
+	// MissingInNew lists baseline points with no counterpart in the new
+	// document (experiment/x/protocol keys). Coverage loss is reported
+	// but does not fail the gate — experiments legitimately come and go.
+	MissingInNew []string
+	// Regressions holds every threshold crossing, worst first is NOT
+	// guaranteed; order follows the baseline document.
+	Regressions []Regression
+}
+
+// OK reports whether the gate passes.
+func (d Diff) OK() bool { return len(d.Regressions) == 0 }
+
+type pointKey struct{ exp, x, protocol string }
+
+// Compare evaluates new against the old baseline point by point. Points
+// are matched by (experiment id, x label, protocol); unmatched new
+// points are ignored (they are new coverage, not regressions).
+func Compare(old, new *File, th Thresholds) Diff {
+	idx := make(map[pointKey]Point)
+	for _, e := range new.Experiments {
+		for _, p := range e.Points {
+			idx[pointKey{e.ID, p.X, p.Protocol}] = p
+		}
+	}
+	var d Diff
+	for _, e := range old.Experiments {
+		for _, op := range e.Points {
+			key := pointKey{e.ID, op.X, op.Protocol}
+			np, ok := idx[key]
+			if !ok {
+				d.MissingInNew = append(d.MissingInNew,
+					fmt.Sprintf("%s / %s / %s", key.exp, key.x, key.protocol))
+				continue
+			}
+			if op.Commits < th.MinCommits {
+				d.Skipped++
+				continue
+			}
+			d.Compared++
+			if op.ThroughputTPS > 0 {
+				change := (np.ThroughputTPS - op.ThroughputTPS) / op.ThroughputTPS
+				if change < -th.ThroughputDrop {
+					d.Regressions = append(d.Regressions, Regression{
+						Experiment: key.exp, X: key.x, Protocol: key.protocol,
+						Metric: "throughput",
+						Old:    op.ThroughputTPS, New: np.ThroughputTPS, Change: change,
+					})
+				}
+			}
+			if op.Latency.P99 > 0 {
+				change := float64(np.Latency.P99-op.Latency.P99) / float64(op.Latency.P99)
+				if change > th.P99Rise {
+					d.Regressions = append(d.Regressions, Regression{
+						Experiment: key.exp, X: key.x, Protocol: key.protocol,
+						Metric: "p99",
+						Old:    float64(op.Latency.P99), New: float64(np.Latency.P99), Change: change,
+					})
+				}
+			}
+		}
+	}
+	return d
+}
+
+// Print renders the diff for humans: coverage summary, then every
+// regression one per line.
+func (d Diff) Print(w io.Writer) {
+	fmt.Fprintf(w, "compared %d points (%d skipped below commit floor, %d missing in new)\n",
+		d.Compared, d.Skipped, len(d.MissingInNew))
+	for _, m := range d.MissingInNew {
+		fmt.Fprintf(w, "  missing: %s\n", m)
+	}
+	if d.OK() {
+		fmt.Fprintln(w, "no regressions")
+		return
+	}
+	fmt.Fprintf(w, "%d regression(s):\n", len(d.Regressions))
+	for _, r := range d.Regressions {
+		fmt.Fprintf(w, "  REGRESSION %s\n", r)
+	}
+}

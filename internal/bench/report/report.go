@@ -1,0 +1,171 @@
+// Package report defines the machine-readable result schema the
+// benchmark pipeline emits and the tools that consume it. It is the
+// boundary between *running* experiments (internal/bench) and
+// *reporting* them: runners produce stats.Report values, this package
+// turns them into a versioned JSON document (plus CSV and the
+// human-readable table), and cmd/bench-diff compares two such documents
+// to gate regressions in CI.
+//
+// The schema is versioned so stored trajectory artifacts (BENCH_*.json)
+// stay parseable as the pipeline evolves: readers accept only matching
+// SchemaVersion values and fail loudly otherwise.
+package report
+
+import (
+	"os"
+	"runtime"
+	"runtime/debug"
+	"time"
+
+	"bamboo/internal/stats"
+)
+
+// SchemaVersion identifies the JSON layout. Bump it on any
+// backwards-incompatible change to the structs below.
+const SchemaVersion = 1
+
+// File is the top-level result document: one benchmark invocation,
+// covering one or more experiments at a single scale, annotated with
+// enough environment detail to interpret absolute numbers later.
+type File struct {
+	SchemaVersion int    `json:"schema_version"`
+	CreatedAt     string `json:"created_at"` // RFC 3339, UTC
+	GitSHA        string `json:"git_sha"`
+	GoVersion     string `json:"go_version"`
+	GOOS          string `json:"goos"`
+	GOARCH        string `json:"goarch"`
+	GOMAXPROCS    int    `json:"gomaxprocs"`
+	NumCPU        int    `json:"num_cpu"`
+
+	Scale       Scale        `json:"scale"`
+	Experiments []Experiment `json:"experiments"`
+}
+
+// Scale mirrors bench.Scale in JSON-friendly units (nanoseconds for
+// durations). It is duplicated here rather than imported so the schema
+// has no dependency on runner internals.
+type Scale struct {
+	Threads       []int `json:"threads"`
+	TxnsPerWorker int   `json:"txns_per_worker"`
+	DurationNS    int64 `json:"duration_ns"`
+	Rows          int   `json:"rows"`
+	RTTNS         int64 `json:"rtt_ns"`
+}
+
+// Experiment is one runner's full series.
+type Experiment struct {
+	ID        string  `json:"id"`
+	Title     string  `json:"title"`
+	ElapsedNS int64   `json:"elapsed_ns"` // wall time of the whole run
+	Points    []Point `json:"points"`
+}
+
+// Point is one protocol at one x-axis value — the unit bench-diff
+// compares across runs.
+type Point struct {
+	X        string `json:"x"`
+	Protocol string `json:"protocol"`
+	Workers  int    `json:"workers"`
+
+	Commits       uint64            `json:"commits"`
+	Aborts        uint64            `json:"aborts"`
+	AbortRate     float64           `json:"abort_rate"`
+	AbortsBy      map[string]uint64 `json:"aborts_by,omitempty"`
+	ThroughputTPS float64           `json:"throughput_tps"`
+
+	Latency   Latency   `json:"latency_ns"`
+	Breakdown Breakdown `json:"breakdown_ns"`
+
+	Wounds   uint64  `json:"wounds,omitempty"`
+	Cascades uint64  `json:"cascades,omitempty"`
+	AvgChain float64 `json:"avg_chain,omitempty"`
+	MaxChain uint64  `json:"max_chain,omitempty"`
+
+	ElapsedNS int64 `json:"elapsed_ns"`
+}
+
+// Latency is the commit-latency distribution in nanoseconds.
+type Latency struct {
+	Mean int64 `json:"mean"`
+	P50  int64 `json:"p50"`
+	P90  int64 `json:"p90"`
+	P95  int64 `json:"p95"`
+	P99  int64 `json:"p99"`
+	P999 int64 `json:"p999"`
+	Max  int64 `json:"max"`
+}
+
+// Breakdown is the amortized per-committed-transaction runtime split
+// (the paper's stacked-bar figures), in nanoseconds.
+type Breakdown struct {
+	LockWait   int64 `json:"lock_wait"`
+	Abort      int64 `json:"abort"`
+	CommitWait int64 `json:"commit_wait"`
+	Useful     int64 `json:"useful"`
+}
+
+// NewFile returns a File stamped with the current environment.
+func NewFile(s Scale) *File {
+	return &File{
+		SchemaVersion: SchemaVersion,
+		CreatedAt:     time.Now().UTC().Format(time.RFC3339),
+		GitSHA:        gitSHA(),
+		GoVersion:     runtime.Version(),
+		GOOS:          runtime.GOOS,
+		GOARCH:        runtime.GOARCH,
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		NumCPU:        runtime.NumCPU(),
+		Scale:         s,
+	}
+}
+
+// gitSHA resolves the commit the binary was built from: an explicit
+// BAMBOO_GIT_SHA (set by CI) wins, then the VCS stamp Go embeds in
+// binaries built inside a git checkout.
+func gitSHA() string {
+	if sha := os.Getenv("BAMBOO_GIT_SHA"); sha != "" {
+		return sha
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" {
+				return s.Value
+			}
+		}
+	}
+	return "unknown"
+}
+
+// PointFrom flattens a stats.Report into the schema.
+func PointFrom(x string, r stats.Report) Point {
+	return Point{
+		X:             x,
+		Protocol:      r.Protocol,
+		Workers:       r.Workers,
+		Commits:       r.Commits,
+		Aborts:        r.Aborts,
+		AbortRate:     r.AbortRate,
+		AbortsBy:      r.AbortsBy,
+		ThroughputTPS: r.ThroughputTPS,
+		Latency: Latency{
+			Mean: int64(r.LatencyMean),
+			P50:  int64(r.LatencyP50),
+			P90:  int64(r.LatencyP90),
+			P95:  int64(r.LatencyP95),
+			P99:  int64(r.LatencyP99),
+			P999: int64(r.LatencyP999),
+			Max:  int64(r.LatencyMax),
+		},
+		Breakdown: Breakdown{
+			LockWait:   int64(r.PerTxnLockWait),
+			Abort:      int64(r.PerTxnAbort),
+			CommitWait: int64(r.PerTxnCommitWait),
+			Useful:     int64(r.PerTxnUseful),
+		},
+		Wounds:    r.Wounds,
+		Cascades:  r.Cascades,
+		AvgChain:  r.AvgChain,
+		MaxChain:  r.MaxChain,
+		ElapsedNS: int64(r.Elapsed),
+	}
+}

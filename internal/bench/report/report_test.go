@@ -1,0 +1,213 @@
+package report
+
+import (
+	"bytes"
+	"encoding/csv"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"bamboo/internal/stats"
+	"bamboo/internal/txn"
+)
+
+// sample builds a two-experiment document with realistic values.
+func sample() *File {
+	f := NewFile(Scale{Threads: []int{4, 8}, TxnsPerWorker: 300, Rows: 20000, RTTNS: 20000})
+	c := &stats.Collector{}
+	for i := 0; i < 1000; i++ {
+		c.RecordCommit(time.Duration(i)*time.Microsecond, time.Microsecond, 0)
+	}
+	c.RecordAbort(txn.CauseWound, time.Millisecond, 0, 0)
+	rep := stats.Summarize("BAMBOO", time.Second, []*stats.Collector{c}, nil)
+	f.Experiments = append(f.Experiments, Experiment{
+		ID: "fig6", Title: "Fig 6: YCSB vs threads", ElapsedNS: int64(3 * time.Second),
+		Points: []Point{
+			PointFrom("threads=4", rep),
+			{X: "threads=8", Protocol: "WOUND_WAIT", Workers: 8,
+				Commits: 900, Aborts: 100, AbortRate: 0.1, ThroughputTPS: 900,
+				Latency: Latency{Mean: 1000, P50: 800, P90: 1500, P95: 1800, P99: 2500, P999: 4000, Max: 9000}},
+		},
+	})
+	f.Experiments = append(f.Experiments, Experiment{
+		ID: "fig9", Title: "Fig 9: TPC-C vs threads",
+		Points: []Point{
+			{X: "threads=4", Protocol: "BAMBOO", Commits: 5000, ThroughputTPS: 5000,
+				Latency: Latency{P50: 700, P99: 2000}},
+		},
+	})
+	return f
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	f := sample()
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(f, got) {
+		t.Fatalf("round trip mismatch:\nwrote %+v\nread  %+v", f, got)
+	}
+	if got.SchemaVersion != SchemaVersion {
+		t.Fatalf("schema version %d", got.SchemaVersion)
+	}
+	if got.GOMAXPROCS == 0 || got.GoVersion == "" || got.CreatedAt == "" || got.GitSHA == "" {
+		t.Fatalf("environment fields missing: %+v", got)
+	}
+	p := got.Experiments[0].Points[0]
+	for _, v := range []int64{p.Latency.P50, p.Latency.P90, p.Latency.P95, p.Latency.P99, p.Latency.P999} {
+		if v <= 0 {
+			t.Fatalf("missing percentile in %+v", p.Latency)
+		}
+	}
+}
+
+func TestReadJSONRejectsWrongSchema(t *testing.T) {
+	in := strings.NewReader(`{"schema_version": 999, "experiments": []}`)
+	if _, err := ReadJSON(in); err == nil {
+		t.Fatal("wrong schema version accepted")
+	}
+	if _, err := ReadJSON(strings.NewReader("not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestSaveLoad(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	f := sample()
+	if err := Save(path, f); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(f, got) {
+		t.Fatal("load mismatch")
+	}
+	if _, err := Load(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, sample()); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 4 { // header + 3 points
+		t.Fatalf("rows = %d, want 4", len(recs))
+	}
+	if recs[0][0] != "experiment" || len(recs[0]) != len(csvHeader) {
+		t.Fatalf("header = %v", recs[0])
+	}
+	if recs[1][0] != "fig6" || recs[3][0] != "fig9" {
+		t.Fatalf("experiment column wrong: %v / %v", recs[1][0], recs[3][0])
+	}
+}
+
+func TestWriteTable(t *testing.T) {
+	var buf bytes.Buffer
+	WriteTables(&buf, sample())
+	out := buf.String()
+	for _, want := range []string{"== Fig 6", "-- threads=4", "-- threads=8", "BAMBOO", "WOUND_WAIT", "txn/s", "p50=", "p99="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCompareSelfIsClean(t *testing.T) {
+	f := sample()
+	d := Compare(f, f, DefaultThresholds())
+	if !d.OK() {
+		t.Fatalf("self-diff found regressions: %+v", d.Regressions)
+	}
+	if d.Compared == 0 || len(d.MissingInNew) != 0 {
+		t.Fatalf("compared=%d missing=%v", d.Compared, d.MissingInNew)
+	}
+}
+
+func TestCompareFindsThroughputRegression(t *testing.T) {
+	old := sample()
+	cur := sample()
+	// Inject a 15% throughput drop on one point (> the 10% threshold).
+	cur.Experiments[0].Points[1].ThroughputTPS *= 0.85
+	d := Compare(old, cur, DefaultThresholds())
+	if d.OK() || len(d.Regressions) != 1 {
+		t.Fatalf("regressions = %+v", d.Regressions)
+	}
+	r := d.Regressions[0]
+	if r.Metric != "throughput" || r.Protocol != "WOUND_WAIT" || r.Experiment != "fig6" {
+		t.Fatalf("wrong regression: %+v", r)
+	}
+	if r.Change > -0.14 || r.Change < -0.16 {
+		t.Fatalf("change = %f, want ~-0.15", r.Change)
+	}
+	if !strings.Contains(r.String(), "throughput") {
+		t.Fatalf("String() = %q", r.String())
+	}
+	// A 9% drop stays under the default threshold.
+	cur2 := sample()
+	cur2.Experiments[0].Points[1].ThroughputTPS *= 0.91
+	if d := Compare(old, cur2, DefaultThresholds()); !d.OK() {
+		t.Fatalf("9%% drop flagged: %+v", d.Regressions)
+	}
+}
+
+func TestCompareFindsP99Regression(t *testing.T) {
+	old := sample()
+	cur := sample()
+	cur.Experiments[1].Points[0].Latency.P99 *= 2 // +100% > 25% threshold
+	d := Compare(old, cur, DefaultThresholds())
+	if len(d.Regressions) != 1 || d.Regressions[0].Metric != "p99" {
+		t.Fatalf("regressions = %+v", d.Regressions)
+	}
+	if !strings.Contains(d.Regressions[0].String(), "p99") {
+		t.Fatalf("String() = %q", d.Regressions[0].String())
+	}
+}
+
+func TestCompareSkipsAndMissing(t *testing.T) {
+	old := sample()
+	// Tiny baseline sample: below the commit floor, regressions ignored.
+	old.Experiments[1].Points[0].Commits = 3
+	cur := sample()
+	cur.Experiments[1].Points[0].Commits = 3
+	cur.Experiments[1].Points[0].ThroughputTPS = 1 // huge drop, but noise
+	// Drop a point from the new run entirely.
+	cur.Experiments[0].Points = cur.Experiments[0].Points[:1]
+	d := Compare(old, cur, DefaultThresholds())
+	if !d.OK() {
+		t.Fatalf("noise point flagged: %+v", d.Regressions)
+	}
+	if d.Skipped != 1 || len(d.MissingInNew) != 1 {
+		t.Fatalf("skipped=%d missing=%v", d.Skipped, d.MissingInNew)
+	}
+	var buf bytes.Buffer
+	d.Print(&buf)
+	if !strings.Contains(buf.String(), "missing:") {
+		t.Fatalf("Print missing coverage note:\n%s", buf.String())
+	}
+	// Regressions also render through Print.
+	bad := Compare(old, func() *File {
+		f := sample()
+		f.Experiments[0].Points[1].ThroughputTPS = 1
+		return f
+	}(), DefaultThresholds())
+	buf.Reset()
+	bad.Print(&buf)
+	if !strings.Contains(buf.String(), "REGRESSION") {
+		t.Fatalf("Print missing regression line:\n%s", buf.String())
+	}
+}

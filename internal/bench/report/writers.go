@@ -1,0 +1,152 @@
+package report
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"time"
+)
+
+// WriteJSON emits the document as indented JSON (the BENCH_*.json
+// trajectory artifact format).
+func WriteJSON(w io.Writer, f *File) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(f)
+}
+
+// ReadJSON parses a document and rejects unknown schema versions.
+func ReadJSON(r io.Reader) (*File, error) {
+	var f File
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&f); err != nil {
+		return nil, fmt.Errorf("report: parse: %w", err)
+	}
+	if f.SchemaVersion != SchemaVersion {
+		return nil, fmt.Errorf("report: schema version %d, this build reads %d",
+			f.SchemaVersion, SchemaVersion)
+	}
+	return &f, nil
+}
+
+// Load reads a document from a file path.
+func Load(path string) (*File, error) {
+	fh, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer fh.Close()
+	f, err := ReadJSON(fh)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return f, nil
+}
+
+// Save writes the document to path atomically enough for CI use.
+func Save(path string, f *File) error {
+	fh, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteJSON(fh, f); err != nil {
+		fh.Close()
+		return err
+	}
+	return fh.Close()
+}
+
+// csvHeader is the flat column set, one row per point.
+var csvHeader = []string{
+	"experiment", "x", "protocol", "workers",
+	"throughput_tps", "commits", "aborts", "abort_rate",
+	"lat_mean_ns", "lat_p50_ns", "lat_p90_ns", "lat_p95_ns", "lat_p99_ns", "lat_p999_ns", "lat_max_ns",
+	"lock_wait_ns", "abort_ns", "commit_wait_ns", "useful_ns",
+	"wounds", "cascades", "avg_chain", "max_chain",
+}
+
+// WriteCSV emits every point of every experiment as one flat table.
+func WriteCSV(w io.Writer, f *File) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	for _, e := range f.Experiments {
+		for _, p := range e.Points {
+			rec := []string{
+				e.ID, p.X, p.Protocol, strconv.Itoa(p.Workers),
+				strconv.FormatFloat(p.ThroughputTPS, 'f', 1, 64),
+				strconv.FormatUint(p.Commits, 10),
+				strconv.FormatUint(p.Aborts, 10),
+				strconv.FormatFloat(p.AbortRate, 'f', 4, 64),
+				strconv.FormatInt(p.Latency.Mean, 10),
+				strconv.FormatInt(p.Latency.P50, 10),
+				strconv.FormatInt(p.Latency.P90, 10),
+				strconv.FormatInt(p.Latency.P95, 10),
+				strconv.FormatInt(p.Latency.P99, 10),
+				strconv.FormatInt(p.Latency.P999, 10),
+				strconv.FormatInt(p.Latency.Max, 10),
+				strconv.FormatInt(p.Breakdown.LockWait, 10),
+				strconv.FormatInt(p.Breakdown.Abort, 10),
+				strconv.FormatInt(p.Breakdown.CommitWait, 10),
+				strconv.FormatInt(p.Breakdown.Useful, 10),
+				strconv.FormatUint(p.Wounds, 10),
+				strconv.FormatUint(p.Cascades, 10),
+				strconv.FormatFloat(p.AvgChain, 'f', 2, 64),
+				strconv.FormatUint(p.MaxChain, 10),
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// String renders a point in the classic one-line table format.
+func (p Point) String() string {
+	line := fmt.Sprintf("%-12s %8.0f txn/s  aborts=%5.1f%%  wait=%s commitWait=%s abortTime=%s useful=%s",
+		p.Protocol, p.ThroughputTPS, p.AbortRate*100,
+		time.Duration(p.Breakdown.LockWait).Round(time.Microsecond),
+		time.Duration(p.Breakdown.CommitWait).Round(time.Microsecond),
+		time.Duration(p.Breakdown.Abort).Round(time.Microsecond),
+		time.Duration(p.Breakdown.Useful).Round(time.Microsecond))
+	if p.Latency.P50 > 0 {
+		line += fmt.Sprintf("  p50=%s p99=%s",
+			time.Duration(p.Latency.P50).Round(time.Microsecond),
+			time.Duration(p.Latency.P99).Round(time.Microsecond))
+	}
+	if p.Cascades > 0 {
+		line += fmt.Sprintf("  chains(avg=%.1f max=%d)", p.AvgChain, p.MaxChain)
+	}
+	return line
+}
+
+// WriteTable renders one experiment in the human-readable block format
+// (the output bamboo-bench has always printed): a title header, then one
+// group per x-axis value with one line per protocol.
+func WriteTable(w io.Writer, e Experiment) {
+	fmt.Fprintf(w, "== %s ==\n", e.Title)
+	lastX := ""
+	for _, p := range e.Points {
+		if p.X != lastX {
+			fmt.Fprintf(w, "-- %s\n", p.X)
+			lastX = p.X
+		}
+		fmt.Fprintf(w, "   %s\n", p)
+	}
+}
+
+// WriteTables renders every experiment in the document.
+func WriteTables(w io.Writer, f *File) {
+	for i, e := range f.Experiments {
+		if i > 0 {
+			fmt.Fprintln(w)
+		}
+		WriteTable(w, e)
+	}
+}

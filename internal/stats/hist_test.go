@@ -1,0 +1,189 @@
+package stats
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+// exactQuantile mirrors Hist.Quantile's rank convention on a sorted
+// slice: the value whose cumulative count first exceeds q*n.
+func exactQuantile(sorted []time.Duration, q float64) time.Duration {
+	rank := int(q * float64(len(sorted)))
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}
+
+// relErr returns |a-b| / max(b, 1ns).
+func relErr(a, b time.Duration) float64 {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	if b <= 0 {
+		b = 1
+	}
+	return float64(d) / float64(b)
+}
+
+func TestHistEmpty(t *testing.T) {
+	var h Hist
+	if h.Count() != 0 || h.Quantile(0.5) != 0 || h.Mean() != 0 || h.Max() != 0 {
+		t.Fatalf("empty histogram not zero: %+v", h)
+	}
+}
+
+func TestHistSingleValue(t *testing.T) {
+	var h Hist
+	h.Record(137 * time.Microsecond)
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 137*time.Microsecond {
+			t.Fatalf("q=%.2f = %v, want 137µs", q, got)
+		}
+	}
+	if h.Mean() != 137*time.Microsecond {
+		t.Fatalf("mean = %v", h.Mean())
+	}
+}
+
+func TestHistBucketRoundTrip(t *testing.T) {
+	// Every representable value must land in a bucket whose midpoint is
+	// within one sub-bucket width (1/64 relative) of the value.
+	for _, v := range []int64{0, 1, 63, 64, 65, 127, 128, 1000, 4095, 4096,
+		1e6, 1e9, 12345678901, histMaxValue - 1} {
+		i := histIndex(v)
+		if i < 0 || i >= histBuckets {
+			t.Fatalf("v=%d: index %d out of range", v, i)
+		}
+		got := histValue(i)
+		if e := relErr(time.Duration(got), time.Duration(v)); e > 1.0/histSubCount {
+			t.Errorf("v=%d: bucket midpoint %d, rel err %.4f", v, got, e)
+		}
+	}
+}
+
+func TestHistIndexMonotone(t *testing.T) {
+	last := -1
+	for v := int64(0); v < 1<<20; v += 7 {
+		i := histIndex(v)
+		if i < last {
+			t.Fatalf("index not monotone at v=%d: %d < %d", v, i, last)
+		}
+		last = i
+	}
+}
+
+// TestHistQuantileAccuracy checks the histogram against an exact
+// full-sample sort on several random distributions: all reported
+// percentiles must be within the log-linear error bound (one sub-bucket,
+// ~1.6%, with slack for the rank-rounding difference).
+func TestHistQuantileAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	distributions := map[string]func() time.Duration{
+		"uniform": func() time.Duration {
+			return time.Duration(rng.Int63n(int64(10 * time.Millisecond)))
+		},
+		"exponential": func() time.Duration {
+			return time.Duration(rng.ExpFloat64() * float64(500*time.Microsecond))
+		},
+		"bimodal": func() time.Duration {
+			if rng.Intn(10) == 0 {
+				return time.Duration(rng.Int63n(int64(50*time.Millisecond))) + 10*time.Millisecond
+			}
+			return time.Duration(rng.Int63n(int64(200 * time.Microsecond)))
+		},
+	}
+	for name, draw := range distributions {
+		t.Run(name, func(t *testing.T) {
+			var h Hist
+			samples := make([]time.Duration, 0, 50000)
+			for i := 0; i < 50000; i++ {
+				d := draw()
+				h.Record(d)
+				samples = append(samples, d)
+			}
+			sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+			for _, q := range []float64{0.5, 0.9, 0.95, 0.99, 0.999} {
+				got := h.Quantile(q)
+				want := exactQuantile(samples, q)
+				if e := relErr(got, want); e > 2.5/histSubCount {
+					t.Errorf("q=%.3f: hist=%v exact=%v rel err %.4f", q, got, want, e)
+				}
+			}
+			if h.Mean() == 0 || h.Max() != samples[len(samples)-1] {
+				t.Errorf("mean=%v max=%v want max=%v", h.Mean(), h.Max(), samples[len(samples)-1])
+			}
+		})
+	}
+}
+
+// TestHistMerge verifies that merging per-worker histograms is
+// indistinguishable from recording everything into one histogram.
+func TestHistMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var whole Hist
+	parts := make([]Hist, 8)
+	for i := 0; i < 80000; i++ {
+		d := time.Duration(rng.ExpFloat64() * float64(time.Millisecond))
+		whole.Record(d)
+		parts[i%len(parts)].Record(d)
+	}
+	var merged Hist
+	for i := range parts {
+		merged.Merge(&parts[i])
+	}
+	if merged.Count() != whole.Count() || merged.Mean() != whole.Mean() ||
+		merged.Min() != whole.Min() || merged.Max() != whole.Max() {
+		t.Fatalf("merged summary differs: count %d vs %d, mean %v vs %v",
+			merged.Count(), whole.Count(), merged.Mean(), whole.Mean())
+	}
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.99, 0.999} {
+		if merged.Quantile(q) != whole.Quantile(q) {
+			t.Errorf("q=%.3f: merged %v != whole %v", q, merged.Quantile(q), whole.Quantile(q))
+		}
+	}
+	// Merging an empty histogram must not disturb min/max.
+	var empty Hist
+	before := merged
+	merged.Merge(&empty)
+	if merged != before {
+		t.Error("merging empty histogram changed state")
+	}
+}
+
+func TestHistOverflow(t *testing.T) {
+	var h Hist
+	huge := time.Duration(histMaxValue) * 4
+	h.Record(time.Millisecond)
+	h.Record(huge)
+	if h.Count() != 2 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Max() != huge {
+		t.Fatalf("max = %v", h.Max())
+	}
+	if got := h.Quantile(0.999); got != huge {
+		t.Fatalf("q999 = %v, want %v", got, huge)
+	}
+	if got := h.Quantile(0.25); relErr(got, time.Millisecond) > 1.0/histSubCount {
+		t.Fatalf("q25 = %v, want ~1ms", got)
+	}
+}
+
+func TestHistNegativeClamped(t *testing.T) {
+	var h Hist
+	h.Record(-time.Second)
+	if h.Min() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatalf("negative not clamped: min=%v p50=%v", h.Min(), h.Quantile(0.5))
+	}
+}
+
+func BenchmarkHistRecord(b *testing.B) {
+	var h Hist
+	for i := 0; i < b.N; i++ {
+		h.Record(time.Duration(i%1000) * time.Microsecond)
+	}
+}

@@ -8,9 +8,6 @@
 package stats
 
 import (
-	"fmt"
-	"sort"
-	"strings"
 	"sync/atomic"
 	"time"
 
@@ -32,8 +29,9 @@ type Collector struct {
 	UsefulTime time.Duration // execution time of attempts that committed
 	Elapsed    time.Duration // wall-clock span of the worker's run
 
-	// Latencies, sampled per committed transaction (capped reservoir).
-	latSamples []time.Duration
+	// Lat holds the latency of every committed transaction in a
+	// fixed-bucket log-linear histogram (bounded memory, no sampling).
+	Lat Hist
 }
 
 // Global holds the counters that are recorded from inside the shared lock
@@ -62,17 +60,13 @@ func (g *Global) RecordCascade(chain int) {
 	}
 }
 
-const maxLatSamples = 4096
-
 // RecordCommit records a committed attempt with its time breakdown.
 func (c *Collector) RecordCommit(exec, lockWait, commitWait time.Duration) {
 	c.Commits++
 	c.UsefulTime += exec
 	c.LockWait += lockWait
 	c.CommitWait += commitWait
-	if len(c.latSamples) < maxLatSamples {
-		c.latSamples = append(c.latSamples, exec+lockWait+commitWait)
-	}
+	c.Lat.Record(exec + lockWait + commitWait)
 }
 
 // RecordAbort records an aborted attempt.
@@ -100,14 +94,7 @@ func (c *Collector) Merge(other *Collector) {
 	if other.Elapsed > c.Elapsed {
 		c.Elapsed = other.Elapsed
 	}
-	room := maxLatSamples - len(c.latSamples)
-	if room > 0 {
-		n := len(other.latSamples)
-		if n > room {
-			n = room
-		}
-		c.latSamples = append(c.latSamples, other.latSamples[:n]...)
-	}
+	c.Lat.Merge(&other.Lat)
 }
 
 // Report is an immutable summary of a run.
@@ -132,12 +119,21 @@ type Report struct {
 	PerTxnAbort      time.Duration
 	PerTxnUseful     time.Duration
 
-	Wounds       uint64
-	Cascades     uint64
-	AvgChain     float64
-	MaxChain     uint64
-	LatencyP50   time.Duration
-	LatencyP99   time.Duration
+	Wounds   uint64
+	Cascades uint64
+	AvgChain float64
+	MaxChain uint64
+
+	// Commit-latency distribution (lock wait + execution + commit wait),
+	// from the merged worker histograms.
+	LatencyMean time.Duration
+	LatencyP50  time.Duration
+	LatencyP90  time.Duration
+	LatencyP95  time.Duration
+	LatencyP99  time.Duration
+	LatencyP999 time.Duration
+	LatencyMax  time.Duration
+
 	Elapsed      time.Duration
 	TotalWorkers int
 }
@@ -186,28 +182,21 @@ func Summarize(protocol string, elapsed time.Duration, workers []*Collector, g *
 	if cascades > 0 {
 		r.AvgChain = float64(chainSum) / float64(cascades)
 	}
-	if len(all.latSamples) > 0 {
-		sort.Slice(all.latSamples, func(i, j int) bool { return all.latSamples[i] < all.latSamples[j] })
-		r.LatencyP50 = all.latSamples[len(all.latSamples)*50/100]
-		r.LatencyP99 = all.latSamples[len(all.latSamples)*99/100]
+	if all.Lat.Count() > 0 {
+		r.LatencyMean = all.Lat.Mean()
+		r.LatencyP50 = all.Lat.Quantile(0.50)
+		r.LatencyP90 = all.Lat.Quantile(0.90)
+		r.LatencyP95 = all.Lat.Quantile(0.95)
+		r.LatencyP99 = all.Lat.Quantile(0.99)
+		r.LatencyP999 = all.Lat.Quantile(0.999)
+		r.LatencyMax = all.Lat.Max()
 	}
 	return r
 }
 
-// String renders the report as a one-line summary.
-func (r Report) String() string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "%-12s %8.0f txn/s  aborts=%5.1f%%  wait=%s commitWait=%s abortTime=%s useful=%s",
-		r.Protocol, r.ThroughputTPS, r.AbortRate*100,
-		r.PerTxnLockWait.Round(time.Microsecond),
-		r.PerTxnCommitWait.Round(time.Microsecond),
-		r.PerTxnAbort.Round(time.Microsecond),
-		r.PerTxnUseful.Round(time.Microsecond))
-	if r.Cascades > 0 {
-		fmt.Fprintf(&b, "  chains(avg=%.1f max=%d)", r.AvgChain, r.MaxChain)
-	}
-	return b.String()
-}
+// The one-line table rendering of a report lives in
+// bench/report.Point.String, the single formatter on the reporting
+// path; convert with report.PointFrom.
 
 // BreakdownRow returns the four per-transaction time components in the
 // order the paper's stacked bars use: lock wait, abort, commit wait,
