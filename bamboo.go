@@ -127,6 +127,11 @@ type Options struct {
 	InteractiveRTT time.Duration
 	// AbortBackoffMax bounds the randomized retry backoff after aborts.
 	AbortBackoffMax time.Duration
+	// GroupCommit batches commit-record device writes through the WAL's
+	// epoch-based group committer; GroupCommitInterval is the epoch
+	// accumulation window (0 = flush as soon as records are pending).
+	GroupCommit         bool
+	GroupCommitInterval time.Duration
 }
 
 // DB is a database instance bound to one protocol.
@@ -160,6 +165,8 @@ func Open(opts Options) *DB {
 		cfg.DynamicTS = false
 	}
 	cfg.AbortBackoffMax = opts.AbortBackoffMax
+	cfg.GroupCommit = opts.GroupCommit
+	cfg.GroupCommitInterval = opts.GroupCommitInterval
 
 	db := &DB{inner: core.NewDB(cfg)}
 	if opts.Protocol == Silo {
@@ -174,11 +181,13 @@ func Open(opts Options) *DB {
 	return db
 }
 
-// Close releases background resources (the Silo epoch advancer).
+// Close releases background resources (the Silo epoch advancer and the
+// group-commit flusher).
 func (db *DB) Close() {
 	if db.silo != nil {
 		db.silo.Close()
 	}
+	db.inner.Close()
 }
 
 // Protocol returns the display name of the configured protocol.

@@ -81,6 +81,7 @@ func main() {
 		s.RTT = *rtt
 		if *threads != "" {
 			s.Threads = nil
+			s.ThreadsExplicit = true
 			for _, part := range strings.Split(*threads, ",") {
 				n, err := strconv.Atoi(strings.TrimSpace(part))
 				if err != nil || n < 1 {

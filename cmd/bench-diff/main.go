@@ -21,50 +21,63 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"bamboo/internal/bench/report"
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the whole CLI — flag parsing, comparison, rendering — returning
+// the process exit code so tests can drive the full matrix without
+// spawning processes.
+func run(args []string, stdout, stderr io.Writer) int {
 	def := report.DefaultThresholds()
+	fs := flag.NewFlagSet("bench-diff", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		tpsDrop    = flag.Float64("max-tps-drop", def.ThroughputDrop, "fail when throughput drops by more than this fraction")
-		p99Rise    = flag.Float64("max-p99-rise", def.P99Rise, "fail when p99 latency rises by more than this fraction")
-		minCommits = flag.Uint64("min-commits", def.MinCommits, "skip baseline points with fewer committed transactions")
+		tpsDrop    = fs.Float64("max-tps-drop", def.ThroughputDrop, "fail when throughput drops by more than this fraction")
+		p99Rise    = fs.Float64("max-p99-rise", def.P99Rise, "fail when p99 latency rises by more than this fraction")
+		minCommits = fs.Uint64("min-commits", def.MinCommits, "skip baseline points with fewer committed transactions")
 	)
-	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: bench-diff [flags] old.json new.json\n")
-		flag.PrintDefaults()
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: bench-diff [flags] old.json new.json\n")
+		fs.PrintDefaults()
 	}
-	flag.Parse()
-	if flag.NArg() != 2 {
-		flag.Usage()
-		os.Exit(2)
+	if err := fs.Parse(args); err != nil {
+		return 2
 	}
-
-	old, err := report.Load(flag.Arg(0))
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
-	}
-	cur, err := report.Load(flag.Arg(1))
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+	if fs.NArg() != 2 {
+		fs.Usage()
+		return 2
 	}
 
-	fmt.Printf("baseline %s (%s)  vs  new %s (%s)\n",
-		flag.Arg(0), shortSHA(old.GitSHA), flag.Arg(1), shortSHA(cur.GitSHA))
+	old, err := report.Load(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	cur, err := report.Load(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+
+	fmt.Fprintf(stdout, "baseline %s (%s)  vs  new %s (%s)\n",
+		fs.Arg(0), shortSHA(old.GitSHA), fs.Arg(1), shortSHA(cur.GitSHA))
 	d := report.Compare(old, cur, report.Thresholds{
 		ThroughputDrop: *tpsDrop,
 		P99Rise:        *p99Rise,
 		MinCommits:     *minCommits,
 	})
-	d.Print(os.Stdout)
+	d.Print(stdout)
 	if !d.OK() {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
 func shortSHA(sha string) string {

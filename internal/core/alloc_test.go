@@ -1,0 +1,97 @@
+package core_test
+
+import (
+	"testing"
+
+	"bamboo/internal/core"
+	"bamboo/internal/stats"
+	"bamboo/internal/workload/ycsb"
+)
+
+// Pre-refactor baselines, measured at the PR-1 tree (slice-based entry
+// lists, per-acquire Request allocation, per-attempt lockTx/byRow/accesses
+// allocation, per-commit WAL encode buffer) with the exact harness below.
+// The allocation-gate CI job enforces that the zero-allocation hot path
+// stays at least 50% below these.
+const (
+	seedAllocsBamboo    = 76.0
+	seedAllocsWoundWait = 78.0
+)
+
+// measureAllocsPerTxn reports the average heap allocations per committed
+// transaction on the YCSB medium-contention stored-procedure path, driven
+// by a single session so the count is deterministic (no aborts, no
+// concurrent noise).
+func measureAllocsPerTxn(t *testing.T, cfg core.Config) float64 {
+	t.Helper()
+	db := core.NewDB(cfg)
+	defer db.Close()
+	w, err := ycsb.Load(db, ycsb.Config{
+		Rows: 20000, OpsPerTxn: 16, Theta: 0.6, ReadRatio: 0.5,
+		Columns: 10, ColumnBytes: 100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := core.NewLockEngine(db)
+	sess := eng.NewSession(0, &stats.Collector{})
+	gen := w.Generator()
+
+	// Pre-plan the transactions so workload-side planning allocations
+	// (key plans, dedup maps) are excluded from the executor measurement.
+	const txns = 200
+	fns := make([]core.TxnFunc, txns)
+	for i := range fns {
+		fns[i] = gen(0, i)
+	}
+	i := 0
+	return testing.AllocsPerRun(txns, func() {
+		if err := sess.Run(fns[i%txns]); err != nil {
+			t.Fatal(err)
+		}
+		i++
+	})
+}
+
+// TestAllocBudget is the allocation gate: the per-transaction allocation
+// count on the YCSB medium-contention path must stay at least 50% below
+// the pre-refactor baseline. The bulk of what remains is the per-write
+// private image clone (8 EX accesses/txn on average), which is inherent
+// to the install-by-pointer-swap design: published images must be fresh
+// allocations because committed readers hold references to the old ones.
+func TestAllocBudget(t *testing.T) {
+	cases := []struct {
+		name     string
+		cfg      core.Config
+		baseline float64
+	}{
+		{"bamboo", core.Bamboo(), seedAllocsBamboo},
+		{"woundwait", core.WoundWait(), seedAllocsWoundWait},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got := measureAllocsPerTxn(t, c.cfg)
+			budget := c.baseline * 0.5
+			t.Logf("%s: %.1f allocs/txn (seed baseline %.0f, budget %.0f)",
+				c.name, got, c.baseline, budget)
+			if got > budget {
+				t.Fatalf("allocs/txn = %.1f exceeds budget %.1f (seed baseline %.0f; "+
+					"the hot path regressed — look for per-attempt or per-acquire allocations)",
+					got, budget, c.baseline)
+			}
+		})
+	}
+}
+
+// TestAllocBudgetGroupCommit keeps the group-commit commit path inside
+// the same budget: batching must not reintroduce per-commit allocation.
+func TestAllocBudgetGroupCommit(t *testing.T) {
+	cfg := core.Bamboo()
+	cfg.GroupCommit = true
+	got := measureAllocsPerTxn(t, cfg)
+	budget := seedAllocsBamboo * 0.5
+	t.Logf("bamboo+gc: %.1f allocs/txn (budget %.0f)", got, budget)
+	if got > budget {
+		t.Fatalf("group-commit allocs/txn = %.1f exceeds budget %.1f", got, budget)
+	}
+}

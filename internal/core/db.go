@@ -68,6 +68,17 @@ type Config struct {
 
 	// LogDevice overrides the WAL device (nil = in-memory, not recording).
 	LogDevice wal.Device
+
+	// GroupCommit batches commit-record device writes through the WAL's
+	// epoch-based group committer: committing workers block until the
+	// epoch containing their record is durable, and one device write
+	// covers the whole batch. Off (the default) keeps the paper's
+	// per-transaction append.
+	GroupCommit bool
+	// GroupCommitInterval is the epoch accumulation window; zero flushes
+	// as soon as the flusher sees pending records (piggyback batching).
+	// Only meaningful with GroupCommit set.
+	GroupCommitInterval time.Duration
 }
 
 // Bamboo returns the paper's full configuration: all four optimizations
@@ -128,9 +139,17 @@ func NewDB(cfg Config) *DB {
 		OnWound:     db.Global.RecordWound,
 		OnCascade:   db.Global.RecordCascade,
 	})
-	db.Log = wal.New(cfg.LogDevice)
+	if cfg.GroupCommit {
+		db.Log = wal.NewGroupCommit(cfg.LogDevice, cfg.GroupCommitInterval)
+	} else {
+		db.Log = wal.New(cfg.LogDevice)
+	}
 	return db
 }
+
+// Close releases background resources (the group-commit flusher). Safe to
+// call on any DB; required when GroupCommit is enabled.
+func (db *DB) Close() error { return db.Log.Close() }
 
 // Config returns the DB's protocol configuration.
 func (db *DB) Config() Config { return db.cfg }

@@ -26,14 +26,24 @@ func (e *LockEngine) Name() string { return e.db.ProtocolName() }
 // Database implements Engine.
 func (e *LockEngine) Database() *DB { return e.db }
 
-// NewSession implements Engine.
+// NewSession implements Engine. A session owns every piece of per-worker
+// state the transaction hot path needs — request freelist, timestamp
+// block allocator, reusable transaction/access/commit-record storage and
+// the WAL appender — so steady-state execution does not allocate.
 func (e *LockEngine) NewSession(worker int, col *stats.Collector) Session {
-	return &lockSession{
+	s := &lockSession{
 		db:     e.db,
 		worker: worker,
 		col:    col,
 		rng:    rand.New(rand.NewSource(int64(worker)*7919 + 1)),
+		t:      txn.New(0),
+		wal:    e.db.Log.NewAppender(),
 	}
+	s.t.SetTSAlloc(e.db.Lock.NewTSAlloc(worker))
+	s.tx.s = s
+	s.tx.t = s.t
+	s.tx.db = e.db
+	return s
 }
 
 type lockSession struct {
@@ -41,6 +51,13 @@ type lockSession struct {
 	worker int
 	col    *stats.Collector
 	rng    *rand.Rand
+
+	// Reused across logical transactions (see Run).
+	pool lock.Pool
+	t    *txn.Txn
+	tx   lockTx
+	wal  *wal.Appender
+	rec  wal.Record
 }
 
 // access is one row access of the running attempt.
@@ -68,7 +85,8 @@ type AccessInfo struct {
 	Dirty bool
 }
 
-// lockTx implements Tx over the lock table.
+// lockTx implements Tx over the lock table. One lockTx lives inside each
+// session and is reset between attempts instead of reallocated.
 type lockTx struct {
 	s  *lockSession
 	t  *txn.Txn
@@ -81,13 +99,26 @@ type lockTx struct {
 	declaredOps int
 	opIndex     int
 	lockWait    time.Duration
-	userAbort   bool
 }
 
 type insertOp struct {
 	tbl *storage.Table
 	key uint64
 	img []byte
+}
+
+// reset prepares the lockTx for the next attempt, keeping the backing
+// storage of the access list, row index and insert buffer.
+func (tx *lockTx) reset() {
+	for i := range tx.accesses {
+		tx.accesses[i] = access{}
+	}
+	tx.accesses = tx.accesses[:0]
+	clear(tx.byRow)
+	tx.inserts = tx.inserts[:0]
+	tx.declaredOps = 0
+	tx.opIndex = 0
+	tx.lockWait = 0
 }
 
 // Worker implements Tx.
@@ -99,12 +130,19 @@ func (tx *lockTx) ID() uint64 { return tx.t.ID }
 // DeclareOps implements Tx.
 func (tx *lockTx) DeclareOps(n int) { tx.declaredOps = n }
 
-// acquire obtains a lock with wait-time accounting.
+// acquire obtains a lock with wait-time accounting, drawing the request
+// from the session freelist. On failure the request is quiescent (the
+// manager guarantees it is detached) and goes straight back to the pool.
 func (tx *lockTx) acquire(row *storage.Row, mode lock.Mode) (*lock.Request, error) {
+	req := tx.s.pool.Get()
 	start := time.Now()
-	req, err := tx.db.Lock.Acquire(tx.t, mode, &row.Entry)
+	err := tx.db.Lock.AcquireInto(req, tx.t, mode, &row.Entry)
 	tx.lockWait += time.Since(start)
-	return req, err
+	if err != nil {
+		tx.s.pool.Put(req)
+		return nil, err
+	}
+	return req, nil
 }
 
 // Read implements Tx.
@@ -234,22 +272,29 @@ func (tx *lockTx) Insert(tbl *storage.Table, key uint64, img []byte) error {
 	return nil
 }
 
-// rollback releases every lock with is_abort and drops buffered inserts.
+// rollback releases every lock with is_abort, recycles the requests and
+// drops buffered inserts.
 func (tx *lockTx) rollback() {
 	for i := range tx.accesses {
 		tx.db.Lock.Release(tx.accesses[i].req, true)
+		tx.s.pool.Put(tx.accesses[i].req)
+		tx.accesses[i].req = nil
 	}
 	tx.t.FinishAbort()
 }
 
-// releaseCommitted releases every lock after the commit point.
+// releaseCommitted releases every lock after the commit point and
+// recycles the requests.
 func (tx *lockTx) releaseCommitted() {
 	for i := range tx.accesses {
 		tx.db.Lock.Release(tx.accesses[i].req, false)
+		tx.s.pool.Put(tx.accesses[i].req)
+		tx.accesses[i].req = nil
 	}
 }
 
-// Accesses returns the verifier view of the attempt's accesses.
+// Accesses returns the verifier view of the attempt's accesses. Must be
+// called before the locks are released.
 func (tx *lockTx) Accesses() []AccessInfo {
 	out := make([]AccessInfo, 0, len(tx.accesses))
 	for i := range tx.accesses {
@@ -285,14 +330,22 @@ func (db *DB) SetOnCommit(h OnCommitHook) { db.onCommit = h }
 func (db *DB) OnCommit() OnCommitHook { return db.onCommit }
 
 // Run implements Session: the transaction lifecycle of Algorithm 1.
+//
+// The session's Txn, lockTx, lock requests and WAL buffers are recycled
+// from one logical transaction to the next; this is safe because by the
+// time Run returns every request has been released, and after release no
+// other goroutine can reach the transaction (the lock.Pool quiescence
+// rule).
 func (s *lockSession) Run(fn TxnFunc) error {
-	t := txn.New(s.db.NextTxnID())
+	t := s.t
+	t.Renew(s.db.NextTxnID())
 	cfg := &s.db.cfg
+	tx := &s.tx
 	for {
 		if !cfg.DynamicTS && !t.HasTS() {
 			s.db.Lock.AssignTS(t)
 		}
-		tx := &lockTx{s: s, t: t, db: s.db}
+		tx.reset()
 		attemptStart := time.Now()
 
 		err := fn(tx)
@@ -355,7 +408,7 @@ func (s *lockSession) Run(fn TxnFunc) error {
 
 		// Commit point: log, apply inserts, release.
 		if rec := tx.commitRecord(); rec != nil {
-			if _, err := s.db.Log.Commit(rec); err != nil {
+			if _, err := s.wal.Commit(rec); err != nil {
 				return fatalf("wal append: %v", err)
 			}
 		}
@@ -400,13 +453,15 @@ func (s *lockSession) semWait(tx *lockTx, execTime time.Duration) (time.Duration
 	}
 }
 
-// commitRecord builds the WAL record for the attempt (nil if read-only).
+// commitRecord builds the WAL record for the attempt in the session's
+// reusable record (nil if read-only).
 func (tx *lockTx) commitRecord() *wal.Record {
-	var writes []wal.Write
+	rec := &tx.s.rec
+	rec.Writes = rec.Writes[:0]
 	for i := range tx.accesses {
 		a := &tx.accesses[i]
 		if a.mode == lock.EX {
-			writes = append(writes, wal.Write{
+			rec.Writes = append(rec.Writes, wal.Write{
 				Table: a.row.Table.Schema.Name,
 				Key:   a.row.Key,
 				Image: a.req.Data,
@@ -414,12 +469,13 @@ func (tx *lockTx) commitRecord() *wal.Record {
 		}
 	}
 	for _, ins := range tx.inserts {
-		writes = append(writes, wal.Write{Table: ins.tbl.Schema.Name, Key: ins.key, Image: ins.img})
+		rec.Writes = append(rec.Writes, wal.Write{Table: ins.tbl.Schema.Name, Key: ins.key, Image: ins.img})
 	}
-	if len(writes) == 0 {
+	if len(rec.Writes) == 0 {
 		return nil
 	}
-	return &wal.Record{TxnID: tx.t.ID, Writes: writes}
+	rec.TxnID = tx.t.ID
+	return rec
 }
 
 func (s *lockSession) backoff() {

@@ -15,6 +15,11 @@
 // as immutable: writers mutate a private copy and publish it with a pointer
 // swap at retire (Bamboo) or commit (2PL), so readers can hold references
 // without copying and aborts restore pre-images by swapping pointers back.
+//
+// Hot-path memory discipline: the three lists are intrusive doubly-linked
+// lists threaded through the Request itself, so list surgery (grant,
+// retire, release, promote) never allocates. Requests are recycled through
+// per-worker freelists (Pool); see the quiescence rule on Pool.Put.
 package lock
 
 import (
@@ -107,7 +112,11 @@ const (
 
 // Request is one transaction's lock request on one entry. It doubles as
 // the access handle: the granted data image (Data), the pre-image saved at
-// install time (prev) and the commit-semaphore bookkeeping live here.
+// install time (prevImg) and the commit-semaphore bookkeeping live here.
+//
+// A Request is a member of at most one entry list at a time (waiters →
+// owners → retired); the intrusive next/prev links and the onList back
+// pointer are guarded by the entry latch.
 type Request struct {
 	Txn  *txn.Txn
 	Mode Mode
@@ -121,13 +130,22 @@ type Request struct {
 	// a transaction that had not committed at grant time.
 	Dirty bool
 
+	// Intrusive list node. Guarded by the entry latch.
+	next, prev *Request
+	onList     *reqList
+
+	// gen counts recycles through a Pool; tests use it to detect
+	// reuse-after-release (a request whose generation changed while a
+	// caller still held it was recycled under that caller's feet).
+	gen uint64
+
 	entry      *Entry
 	state      atomic.Int32
 	semHeld    bool   // this request holds one commit_semaphore increment
 	installed  bool   // EX image has been published into the entry
 	installSeq uint64 // never-reused sequence number of the install
 	unwound    bool   // a predecessor's abort rewound past this install
-	prev       []byte // image replaced at install (for abort restore)
+	prevImg    []byte // image replaced at install (for abort restore)
 }
 
 // State snapshot helpers (the canonical state lives behind the entry latch;
@@ -144,6 +162,137 @@ func (r *Request) Granted() bool {
 
 // Retired reports whether the request is in the retired list.
 func (r *Request) Retired() bool { return r.stateLoad() == reqRetired }
+
+// Gen returns the request's recycle generation. It changes only inside
+// Pool.Put, so a holder that observes a changed generation has witnessed a
+// reuse-after-release bug.
+func (r *Request) Gen() uint64 { return r.gen }
+
+// reset returns the request to its zero state, keeping the generation
+// counter. Called by Pool.Put on quiescent requests only.
+func (r *Request) reset() {
+	r.Txn = nil
+	r.Mode = SH
+	r.Data = nil
+	r.Dirty = false
+	r.next, r.prev, r.onList = nil, nil, nil
+	r.entry = nil
+	r.semHeld = false
+	r.installed = false
+	r.installSeq = 0
+	r.unwound = false
+	r.prevImg = nil
+	r.state.Store(int32(reqWaiting))
+}
+
+// Pool is a per-worker freelist of Requests. It is NOT safe for concurrent
+// use: each worker session owns one. The zero value is ready to use.
+type Pool struct {
+	free []*Request
+}
+
+// Get returns a zeroed Request, recycling a quiescent one if available.
+func (p *Pool) Get() *Request {
+	if n := len(p.free); n > 0 {
+		r := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		return r
+	}
+	return &Request{}
+}
+
+// Put recycles r.
+//
+// Quiescence rule: a Request may be recycled only once it is detached from
+// every entry list and no other goroutine can reach it. Both conditions
+// hold exactly when AcquireInto returned an error for r, or Release(r)
+// returned: list membership changes only under the entry latch, and every
+// cross-request reference the protocol takes (wound scans, cascade scans,
+// versionAt, orderSuccessors, notifyHeads) is derived from list membership
+// inside one latch critical section and never retained past it — wounds
+// and semaphore operations target the Txn, not the Request. Put panics if
+// r is still on a list, which would be a caller bug.
+func (p *Pool) Put(r *Request) {
+	if r.onList != nil {
+		panic("lock: Pool.Put of a request still on an entry list")
+	}
+	r.gen++
+	r.reset()
+	p.free = append(p.free, r)
+}
+
+// reqList is an intrusive doubly-linked list of Requests, guarded by the
+// owning entry's latch.
+type reqList struct {
+	head, tail *Request
+	n          int
+}
+
+func (l *reqList) len() int { return l.n }
+
+func (l *reqList) pushBack(r *Request) { l.insertBefore(r, nil) }
+
+func (l *reqList) pushFront(r *Request) { l.insertBefore(r, l.head) }
+
+// insertBefore links r into the list immediately before at; at == nil
+// appends at the tail. r must be detached.
+func (l *reqList) insertBefore(r, at *Request) {
+	if r.onList != nil {
+		panic("lock: insert of a request already on a list")
+	}
+	r.onList = l
+	if at == nil {
+		r.prev = l.tail
+		r.next = nil
+		if l.tail != nil {
+			l.tail.next = r
+		} else {
+			l.head = r
+		}
+		l.tail = r
+	} else {
+		r.prev = at.prev
+		r.next = at
+		if at.prev != nil {
+			at.prev.next = r
+		} else {
+			l.head = r
+		}
+		at.prev = r
+	}
+	l.n++
+}
+
+// insertByTS inserts r in ascending timestamp order (after any equal
+// timestamps, preserving arrival order).
+func (l *reqList) insertByTS(r *Request) {
+	ts := r.Txn.TS()
+	at := l.head
+	for at != nil && at.Txn.TS() <= ts {
+		at = at.next
+	}
+	l.insertBefore(r, at)
+}
+
+// remove unlinks r; it must be a member of this list.
+func (l *reqList) remove(r *Request) {
+	if r.onList != l {
+		panic("lock: remove of a request not on this list")
+	}
+	if r.prev != nil {
+		r.prev.next = r.next
+	} else {
+		l.head = r.next
+	}
+	if r.next != nil {
+		r.next.prev = r.prev
+	} else {
+		l.tail = r.prev
+	}
+	r.next, r.prev, r.onList = nil, nil, nil
+	l.n--
+}
 
 // Entry is the per-tuple lock entry of Figure 2 plus the tuple's data
 // image and a version counter used to make abort restores idempotent.
@@ -164,9 +313,13 @@ type Entry struct {
 	seq uint64
 	cur uint64
 
-	retired []*Request // sorted by ascending timestamp
-	owners  []*Request // mutually compatible
-	waiters []*Request // sorted by ascending timestamp
+	retired reqList // sorted by ascending timestamp
+	owners  reqList // mutually compatible
+	waiters reqList // sorted by ascending timestamp (FIFO under Wait-Die)
+
+	// scratch is reused by orderSuccessorsLocked to track applied
+	// semaphore increments without allocating. Guarded by latch.
+	scratch []*Request
 }
 
 // Init sets the initial committed image.
@@ -176,7 +329,7 @@ func (e *Entry) Init(data []byte) { e.Data = data }
 func (e *Entry) Snapshot() (retired, owners, waiters int) {
 	e.latch.Lock()
 	defer e.latch.Unlock()
-	return len(e.retired), len(e.owners), len(e.waiters)
+	return e.retired.len(), e.owners.len(), e.waiters.len()
 }
 
 // CurrentData returns the newest installed image under the latch. Intended
@@ -187,41 +340,36 @@ func (e *Entry) CurrentData() []byte {
 	return e.Data
 }
 
-// remove deletes r from list, returning the new slice and whether found.
-func remove(list []*Request, r *Request) ([]*Request, bool) {
-	for i, x := range list {
-		if x == r {
-			return append(list[:i], list[i+1:]...), true
-		}
-	}
-	return list, false
-}
-
-// insertByTS inserts r into a timestamp-sorted list.
-func insertByTS(list []*Request, r *Request) []*Request {
-	ts := r.Txn.TS()
-	i := len(list)
-	for j, x := range list {
-		if x.Txn.TS() > ts {
-			i = j
-			break
-		}
-	}
-	list = append(list, nil)
-	copy(list[i+1:], list[i:])
-	list[i] = r
-	return list
-}
-
 // CheckInvariants verifies structural invariants of the entry under the
 // latch; tests call it after randomized histories. It returns an error
 // describing the first violation found.
 func (e *Entry) CheckInvariants() error {
 	e.latch.Lock()
 	defer e.latch.Unlock()
+	// intrusive links must be consistent.
+	for _, l := range []*reqList{&e.retired, &e.owners, &e.waiters} {
+		n := 0
+		var prev *Request
+		for x := l.head; x != nil; x = x.next {
+			if x.onList != l {
+				return fmt.Errorf("list node %s has wrong back pointer", x.Txn)
+			}
+			if x.prev != prev {
+				return fmt.Errorf("broken prev link at %s", x.Txn)
+			}
+			prev = x
+			n++
+		}
+		if l.tail != prev {
+			return fmt.Errorf("tail pointer mismatch")
+		}
+		if n != l.n {
+			return fmt.Errorf("list length %d, counted %d", l.n, n)
+		}
+	}
 	// owners must be mutually compatible.
-	for i, a := range e.owners {
-		for _, b := range e.owners[i+1:] {
+	for a := e.owners.head; a != nil; a = a.next {
+		for b := a.next; b != nil; b = b.next {
 			if Conflict(a.Mode, b.Mode) {
 				return fmt.Errorf("owners %s and %s conflict", a.Txn, b.Txn)
 			}
@@ -230,20 +378,20 @@ func (e *Entry) CheckInvariants() error {
 	// retired must be timestamp-sorted (waiters are sorted for all
 	// variants except Wait-Die, which uses FIFO order; the entry does not
 	// know its manager's variant, so only retired is checked here).
-	for i := 1; i < len(e.retired); i++ {
-		if e.retired[i-1].Txn.TS() > e.retired[i].Txn.TS() {
-			return fmt.Errorf("retired not sorted at %d", i)
+	for x := e.retired.head; x != nil && x.next != nil; x = x.next {
+		if x.Txn.TS() > x.next.Txn.TS() {
+			return fmt.Errorf("retired not sorted at %s", x.next.Txn)
 		}
 	}
 	// request states must match list membership.
-	for _, r := range e.retired {
-		if r.stateLoad() != reqRetired {
-			return fmt.Errorf("retired list holds request in state %d", r.stateLoad())
+	for x := e.retired.head; x != nil; x = x.next {
+		if x.stateLoad() != reqRetired {
+			return fmt.Errorf("retired list holds request in state %d", x.stateLoad())
 		}
 	}
-	for _, r := range e.owners {
-		if r.stateLoad() != reqOwner {
-			return fmt.Errorf("owners list holds request in state %d", r.stateLoad())
+	for x := e.owners.head; x != nil; x = x.next {
+		if x.stateLoad() != reqOwner {
+			return fmt.Errorf("owners list holds request in state %d", x.stateLoad())
 		}
 	}
 	return nil
@@ -255,16 +403,16 @@ func (e *Entry) DebugString() string {
 	e.latch.Lock()
 	defer e.latch.Unlock()
 	var b strings.Builder
-	dump := func(name string, list []*Request) {
+	dump := func(name string, l *reqList) {
 		fmt.Fprintf(&b, "  %s:", name)
-		for _, r := range list {
+		for r := l.head; r != nil; r = r.next {
 			fmt.Fprintf(&b, " {%s %s sem=%d st=%d semHeld=%v inst=%v unw=%v}",
 				r.Mode, r.Txn, r.Txn.Sem(), r.stateLoad(), r.semHeld, r.installed, r.unwound)
 		}
 		b.WriteString("\n")
 	}
-	dump("retired", e.retired)
-	dump("owners", e.owners)
-	dump("waiters", e.waiters)
+	dump("retired", &e.retired)
+	dump("owners", &e.owners)
+	dump("waiters", &e.waiters)
 	return b.String()
 }

@@ -65,12 +65,12 @@ func mustAcquire(t *testing.T, m *Manager, tx *txn.Txn, mode Mode, e *Entry) *Re
 }
 
 func TestInsertByTS(t *testing.T) {
-	var list []*Request
+	var list reqList
 	for _, ts := range []uint64{5, 1, 3, 9, 2} {
-		list = insertByTS(list, &Request{Txn: newTxnTS(ts, ts)})
+		list.insertByTS(&Request{Txn: newTxnTS(ts, ts)})
 	}
 	var got []uint64
-	for _, r := range list {
+	for r := list.head; r != nil; r = r.next {
 		got = append(got, r.Txn.TS())
 	}
 	want := []uint64{1, 2, 3, 5, 9}

@@ -66,22 +66,51 @@ func (m *Manager) Variant() Variant { return m.cfg.Variant }
 // DynamicTS reports whether dynamic timestamp assignment is enabled.
 func (m *Manager) DynamicTS() bool { return m.cfg.DynamicTS }
 
-// NextTS draws the next timestamp from the manager's global counter.
-// Executors call this at transaction start when DynamicTS is off.
+// NextTS draws the next timestamp directly from the manager's global
+// counter (a shared cacheline — executors on the hot path should draw from
+// a per-worker allocator instead, see NewTSAlloc).
 func (m *Manager) NextTS() uint64 { return m.tsCounter.Add(1) }
 
-// AssignTS assigns a start timestamp to t (static assignment mode).
-func (m *Manager) AssignTS(t *txn.Txn) { t.SetTS(m.NextTS()) }
+// NewTSAlloc returns the sharded (worker-local, clock-based) timestamp
+// allocator for the given worker index; see txn.TSAlloc for the ordering
+// discussion. Sessions attach it to their transactions so both static
+// start-time assignment and DynamicTS conflict-time assignment stop
+// touching the manager's shared counter.
+func (m *Manager) NewTSAlloc(worker int) *txn.TSAlloc {
+	return txn.NewTSAlloc(worker)
+}
+
+// AssignTS assigns a start timestamp to t (static assignment mode),
+// drawing from t's allocator when one is attached.
+func (m *Manager) AssignTS(t *txn.Txn) { t.AssignTSIfUnassigned(&m.tsCounter) }
 
 // Acquire requests a lock of the given mode on entry e for transaction t,
 // blocking until granted or until the variant's deadlock-prevention rule
 // decides the transaction must abort. On success the returned Request
 // carries the data image visible to the transaction.
+//
+// Acquire allocates its Request; the zero-allocation path is AcquireInto
+// with a Pool-recycled request.
 func (m *Manager) Acquire(t *txn.Txn, mode Mode, e *Entry) (*Request, error) {
-	if t.Aborting() {
-		return nil, ErrAborting
+	r := &Request{}
+	if err := m.AcquireInto(r, t, mode, e); err != nil {
+		return nil, err
 	}
-	r := &Request{Txn: t, Mode: mode, entry: e}
+	return r, nil
+}
+
+// AcquireInto is Acquire with a caller-provided request, which must be
+// zeroed (freshly allocated or from Pool.Get). On error the request is
+// guaranteed detached from every entry list and may be recycled
+// immediately; on success it must not be recycled until Release(r) has
+// returned.
+func (m *Manager) AcquireInto(r *Request, t *txn.Txn, mode Mode, e *Entry) error {
+	if t.Aborting() {
+		return ErrAborting
+	}
+	r.Txn = t
+	r.Mode = mode
+	r.entry = e
 
 	e.latch.Lock()
 	if m.cfg.DynamicTS {
@@ -92,7 +121,7 @@ func (m *Manager) Acquire(t *txn.Txn, mode Mode, e *Entry) (*Request, error) {
 	case NoWait:
 		if m.conflictsWithHolders(e, mode) {
 			e.latch.Unlock()
-			return nil, ErrNoWait
+			return ErrNoWait
 		}
 	case WaitDie:
 		// Older transactions wait; younger requesters die. The check must
@@ -103,23 +132,20 @@ func (m *Manager) Acquire(t *txn.Txn, mode Mode, e *Entry) (*Request, error) {
 		// queued conflicting transaction and must be older than all of
 		// them.
 		die := false
-		for _, h := range holders(e) {
-			if Conflict(mode, h.Mode) && h.Txn.TS() < t.TS() {
-				die = true
-				break
-			}
-		}
-		if !die {
-			for _, w := range e.waiters {
-				if Conflict(mode, w.Mode) && w.Txn.TS() < t.TS() {
+		for _, l := range []*reqList{&e.retired, &e.owners, &e.waiters} {
+			for h := l.head; h != nil; h = h.next {
+				if Conflict(mode, h.Mode) && h.Txn.TS() < t.TS() {
 					die = true
 					break
 				}
 			}
+			if die {
+				break
+			}
 		}
 		if die {
 			e.latch.Unlock()
-			return nil, ErrDie
+			return ErrDie
 		}
 	case WoundWait:
 		m.woundLocked(t, mode, e)
@@ -134,7 +160,7 @@ func (m *Manager) Acquire(t *txn.Txn, mode Mode, e *Entry) (*Request, error) {
 			// which case the reader queues briefly until it drains.
 			if !m.olderConflicting(e, t, mode) && m.grantLocked(e, r) {
 				e.latch.Unlock()
-				return r, nil
+				return nil
 			}
 			// Otherwise wait (without wounding).
 		} else {
@@ -146,15 +172,15 @@ func (m *Manager) Acquire(t *txn.Txn, mode Mode, e *Entry) (*Request, error) {
 		// FIFO: with the admission rule above, queue order is oldest-last
 		// and every wait edge points from an older to a younger
 		// transaction, which keeps Wait-Die deadlock-free.
-		e.waiters = append(e.waiters, r)
+		e.waiters.pushBack(r)
 	} else {
-		e.waiters = insertByTS(e.waiters, r)
+		e.waiters.insertByTS(r)
 	}
 	m.promoteWaiters(e)
 	granted := r.Granted()
 	e.latch.Unlock()
 	if granted {
-		return r, nil
+		return nil
 	}
 	return m.waitGranted(r)
 }
@@ -179,13 +205,13 @@ func (m *Manager) Retire(r *Request) {
 	if r.Mode == EX {
 		e.seq++
 		r.installSeq = e.seq
-		r.prev = e.Data
+		r.prevImg = e.Data
 		e.Data = r.Data
 		e.cur = r.installSeq
 		r.installed = true
 	}
-	e.owners, _ = remove(e.owners, r)
-	e.retired = insertByTS(e.retired, r)
+	e.owners.remove(r)
+	e.retired.insertByTS(r)
 	r.state.Store(int32(reqRetired))
 	m.promoteWaiters(e)
 }
@@ -210,7 +236,7 @@ func (m *Manager) releaseLocked(e *Entry, r *Request, isAbort bool) {
 	case reqDropped, reqReleased:
 		return
 	case reqWaiting:
-		e.waiters, _ = remove(e.waiters, r)
+		e.waiters.remove(r)
 		r.state.Store(int32(reqReleased))
 		return
 	}
@@ -219,21 +245,14 @@ func (m *Manager) releaseLocked(e *Entry, r *Request, isAbort bool) {
 		// Cascading aborts: all transactions after r in retired∪owners
 		// have (directly or transitively) observed r's dirty write.
 		chain := 0
-		seen := false
-		for _, x := range e.retired {
-			if x == r {
-				seen = true
-				continue
-			}
-			if seen && x.Txn.SetAbort(txn.CauseCascade) {
+		for x := r.next; x != nil; x = x.next {
+			if x.Txn.SetAbort(txn.CauseCascade) {
 				chain++
 			}
 		}
-		if seen {
-			for _, x := range e.owners {
-				if x.Txn.SetAbort(txn.CauseCascade) {
-					chain++
-				}
+		for x := e.owners.head; x != nil; x = x.next {
+			if x.Txn.SetAbort(txn.CauseCascade) {
+				chain++
 			}
 		}
 		if chain > 0 && m.cfg.OnCascade != nil {
@@ -251,9 +270,9 @@ func (m *Manager) releaseLocked(e *Entry, r *Request, isAbort bool) {
 			// still-present install as unwound so it never restores a
 			// dead image later.
 			if r.installed && !r.unwound && e.cur >= r.installSeq {
-				e.Data = r.prev
+				e.Data = r.prevImg
 				e.cur = r.installSeq - 1
-				for _, x := range e.retired {
+				for x := e.retired.head; x != nil; x = x.next {
 					if x != r && x.installed && x.installSeq > r.installSeq {
 						x.unwound = true
 					}
@@ -268,9 +287,9 @@ func (m *Manager) releaseLocked(e *Entry, r *Request, isAbort bool) {
 	}
 
 	if st == reqRetired {
-		e.retired, _ = remove(e.retired, r)
+		e.retired.remove(r)
 	} else {
-		e.owners, _ = remove(e.owners, r)
+		e.owners.remove(r)
 	}
 	if r.semHeld {
 		// The request leaves with an unresolved dependency (abort path);
@@ -303,10 +322,10 @@ func (m *Manager) woundLocked(t *txn.Txn, mode Mode, e *Entry) {
 			}
 		}
 	}
-	for _, r := range e.retired {
+	for r := e.retired.head; r != nil; r = r.next {
 		wound(r)
 	}
-	for _, r := range e.owners {
+	for r := e.owners.head; r != nil; r = r.next {
 		wound(r)
 	}
 }
@@ -318,12 +337,12 @@ func (m *Manager) woundLocked(t *txn.Txn, mode Mode, e *Entry) {
 // bypassed by reading the pre-image at the reader's position.
 func (m *Manager) olderConflicting(e *Entry, t *txn.Txn, mode Mode) bool {
 	ts := t.TS()
-	for _, r := range e.owners {
+	for r := e.owners.head; r != nil; r = r.next {
 		if Conflict(mode, r.Mode) && r.Txn.TS() < ts {
 			return true
 		}
 	}
-	for _, r := range e.waiters {
+	for r := e.waiters.head; r != nil; r = r.next {
 		if Conflict(mode, r.Mode) && r.Txn.TS() < ts {
 			return true
 		}
@@ -331,27 +350,18 @@ func (m *Manager) olderConflicting(e *Entry, t *txn.Txn, mode Mode) bool {
 	return false
 }
 
-func holders(e *Entry) []*Request {
-	if len(e.retired) == 0 {
-		return e.owners
-	}
-	hs := make([]*Request, 0, len(e.retired)+len(e.owners))
-	hs = append(hs, e.retired...)
-	hs = append(hs, e.owners...)
-	return hs
-}
-
+// conflictsWithHolders reports a conflict against retired∪owners.
 func (m *Manager) conflictsWithHolders(e *Entry, mode Mode) bool {
-	for _, r := range holders(e) {
+	for r := e.retired.head; r != nil; r = r.next {
 		if Conflict(mode, r.Mode) {
 			return true
 		}
 	}
-	return false
+	return conflictsWithOwners(e, mode)
 }
 
 func conflictsWithOwners(e *Entry, mode Mode) bool {
-	for _, r := range e.owners {
+	for r := e.owners.head; r != nil; r = r.next {
 		if Conflict(mode, r.Mode) {
 			return true
 		}
@@ -364,15 +374,18 @@ func conflictsWithOwners(e *Entry, mode Mode) bool {
 // current owners, stopping at the first conflict. Waiters whose
 // transactions are already aborting are dropped.
 func (m *Manager) promoteWaiters(e *Entry) {
-	for len(e.waiters) > 0 {
-		w := e.waiters[0]
+	for {
+		w := e.waiters.head
+		if w == nil {
+			return
+		}
 		if w.Txn.Aborting() {
-			e.waiters = e.waiters[1:]
+			e.waiters.remove(w)
 			w.state.Store(int32(reqDropped))
 			continue
 		}
 		if conflictsWithOwners(e, w.Mode) {
-			break
+			return
 		}
 		// A non-positioned grant reads the entry's newest image, so it
 		// must not consume a version installed by a *younger* conflicting
@@ -385,13 +398,16 @@ func (m *Manager) promoteWaiters(e *Entry) {
 		// the version belonging to their timestamp slot.
 		positioned := m.cfg.Variant == Bamboo && w.Mode == SH && m.cfg.RetireReads
 		if !positioned && m.cfg.Variant == Bamboo && youngerConflictingRetired(e, w) {
-			break
+			return
 		}
+		// grantLocked moves the request onto owners or retired, so it
+		// must leave waiters first; re-queue at the front if the grant
+		// has to be retried (a bypassed writer is mid-commit).
+		e.waiters.remove(w)
 		if !m.grantLocked(e, w) {
-			// A bypassed writer is mid-commit; retry after it drains.
-			break
+			e.waiters.pushFront(w)
+			return
 		}
-		e.waiters = e.waiters[1:]
 	}
 }
 
@@ -403,7 +419,7 @@ func (m *Manager) promoteWaiters(e *Entry) {
 // basing its read-modify-write on a dead image.
 func youngerConflictingRetired(e *Entry, w *Request) bool {
 	ts := w.Txn.TS()
-	for _, x := range e.retired {
+	for x := e.retired.head; x != nil; x = x.next {
 		if !Conflict(x.Mode, w.Mode) {
 			continue
 		}
@@ -415,36 +431,37 @@ func youngerConflictingRetired(e *Entry, w *Request) bool {
 }
 
 // grantLocked makes r a lock holder, returning false if the grant must be
-// retried later. For Bamboo shared requests with RetireReads the request
-// goes straight into the retired list at its timestamp position and reads
-// the version belonging to that position; otherwise the request joins
-// owners with the newest image (a private mutable copy for EX). Bamboo
-// increments the commit semaphore when the new holder conflicts with a
-// retired transaction (Algorithm 2, lines 29–30).
+// retried later. r must be detached from the waiters list. For Bamboo
+// shared requests with RetireReads the request goes straight into the
+// retired list at its timestamp position and reads the version belonging
+// to that position; otherwise the request joins owners with the newest
+// image (a private mutable copy for EX). Bamboo increments the commit
+// semaphore when the new holder conflicts with a retired transaction
+// (Algorithm 2, lines 29–30).
 func (m *Manager) grantLocked(e *Entry, r *Request) bool {
 	if m.cfg.Variant == Bamboo && r.Mode == SH && m.cfg.RetireReads {
 		if m.cfg.DynamicTS {
 			r.Txn.AssignTSIfUnassigned(&m.tsCounter)
 		}
-		pos := retiredPos(e, r.Txn.TS())
-		if !m.orderSuccessorsLocked(e, pos, r) {
+		at := retiredInsertPos(e, r.Txn.TS())
+		if !m.orderSuccessorsLocked(e, at, r) {
 			return false
 		}
-		r.Data = versionAt(e, pos)
-		r.Dirty = exBefore(e, pos)
+		r.Data = versionAt(e, at)
+		r.Dirty = exBefore(e, at)
 		if r.Dirty {
 			// The version read was produced by an uncommitted writer:
 			// commit-order after it (paper §3.2.1).
 			r.semHeld = true
 			r.Txn.SemIncr()
 		}
-		e.retired = insertAt(e.retired, pos, r)
+		e.retired.insertBefore(r, at)
 		r.state.Store(int32(reqRetired))
 		return true
 	}
 
 	if m.cfg.Variant == Bamboo {
-		for _, x := range e.retired {
+		for x := e.retired.head; x != nil; x = x.next {
 			if Conflict(x.Mode, r.Mode) {
 				r.semHeld = true
 				r.Txn.SemIncr()
@@ -453,7 +470,7 @@ func (m *Manager) grantLocked(e *Entry, r *Request) bool {
 		}
 	}
 	dirty := false
-	for _, x := range e.retired {
+	for x := e.retired.head; x != nil; x = x.next {
 		if x.Mode == EX {
 			dirty = true
 			break
@@ -465,18 +482,18 @@ func (m *Manager) grantLocked(e *Entry, r *Request) bool {
 	} else {
 		r.Data = e.Data
 	}
-	e.owners = append(e.owners, r)
+	e.owners.pushBack(r)
 	r.state.Store(int32(reqOwner))
 	return true
 }
 
 // orderSuccessorsLocked retroactively commit-orders every live conflicting
-// request positioned after pos (the retired tail plus conflicting owners)
-// behind the reader about to be inserted at pos: each such successor must
-// hold a commit-semaphore increment so it cannot reach its commit point
-// before the reader leaves, or the rw anti-dependency (reader before
-// writer in the version order) would not imply commit-point ordering and
-// Lemma 1 would break.
+// request positioned after the insertion point at (the retired tail plus
+// conflicting owners) behind the reader about to be inserted there: each
+// such successor must hold a commit-semaphore increment so it cannot reach
+// its commit point before the reader leaves, or the rw anti-dependency
+// (reader before writer in the version order) would not imply commit-point
+// ordering and Lemma 1 would break.
 //
 // It returns false when a successor is already past its commit point —
 // too late to order it — in which case the reader must wait for it to
@@ -484,92 +501,110 @@ func (m *Manager) grantLocked(e *Entry, r *Request) bool {
 // handled on the committing side: transactions re-check their semaphore
 // once after winning the commit CAS and wait for retroactive holders to
 // leave before logging.
-func (m *Manager) orderSuccessorsLocked(e *Entry, pos int, r *Request) bool {
-	var targets []*Request
-	for _, x := range e.retired[pos:] {
-		if Conflict(x.Mode, r.Mode) {
-			targets = append(targets, x)
-		}
+func (m *Manager) orderSuccessorsLocked(e *Entry, at *Request, r *Request) bool {
+	committed := func(x *Request) bool {
+		s := x.Txn.State()
+		return s == txn.StateCommitting || s == txn.StateCommitted
 	}
-	for _, x := range e.owners {
-		if Conflict(x.Mode, r.Mode) {
-			targets = append(targets, x)
-		}
-	}
-	for _, x := range targets {
-		if s := x.Txn.State(); s == txn.StateCommitting || s == txn.StateCommitted {
+	for x := at; x != nil; x = x.next {
+		if Conflict(x.Mode, r.Mode) && committed(x) {
 			return false
 		}
 	}
-	var applied []*Request
-	for _, x := range targets {
-		if x.semHeld || x.Txn.Aborting() {
-			continue // already ordered behind a predecessor, or doomed
+	for x := e.owners.head; x != nil; x = x.next {
+		if Conflict(x.Mode, r.Mode) && committed(x) {
+			return false
+		}
+	}
+	// Apply increments, tracking them in the entry's scratch list (reused
+	// across calls; guarded by the latch) so a lost race can be undone.
+	applied := e.scratch[:0]
+	apply := func(x *Request) bool {
+		if !Conflict(x.Mode, r.Mode) || x.semHeld || x.Txn.Aborting() {
+			return true // already ordered behind a predecessor, or doomed
 		}
 		x.semHeld = true
 		x.Txn.SemIncr()
-		if s := x.Txn.State(); s == txn.StateCommitting || s == txn.StateCommitted {
+		if committed(x) {
 			// Lost the race: undo and let the reader wait instead.
-			for _, y := range applied {
-				y.semHeld = false
-				y.Txn.SemDecr()
-			}
 			x.semHeld = false
 			x.Txn.SemDecr()
 			return false
 		}
 		applied = append(applied, x)
+		return true
 	}
-	return true
-}
-
-// retiredPos returns the timestamp-sorted insertion position in retired.
-func retiredPos(e *Entry, ts uint64) int {
-	for i, x := range e.retired {
-		if x.Txn.TS() > ts {
-			return i
+	ok := true
+	for x := at; ok && x != nil; x = x.next {
+		ok = apply(x)
+	}
+	for x := e.owners.head; ok && x != nil; x = x.next {
+		ok = apply(x)
+	}
+	if !ok {
+		for _, y := range applied {
+			y.semHeld = false
+			y.Txn.SemDecr()
 		}
 	}
-	return len(e.retired)
+	for i := range applied {
+		applied[i] = nil
+	}
+	e.scratch = applied[:0]
+	return ok
 }
 
-func insertAt(list []*Request, i int, r *Request) []*Request {
-	list = append(list, nil)
-	copy(list[i+1:], list[i:])
-	list[i] = r
-	return list
+// retiredInsertPos returns the first retired request with a strictly
+// greater timestamp (insert before it); nil means append at the tail.
+func retiredInsertPos(e *Entry, ts uint64) *Request {
+	for x := e.retired.head; x != nil; x = x.next {
+		if x.Txn.TS() > ts {
+			return x
+		}
+	}
+	return nil
 }
 
-// versionAt returns the data image a reader positioned at index pos of the
-// retired list must observe: the image installed by the nearest preceding
-// exclusive retiree, or — if none — the pre-image of the first exclusive
-// retiree at or after pos, or the entry's current image when no
-// uncommitted installs exist.
-func versionAt(e *Entry, pos int) []byte {
-	// Nearest exclusive install before pos: its image is the version at
-	// this slot. (If that writer is doomed, a reader here is doomed with
-	// it — the read stays consistent and the cascade covers the reader.)
-	for i := pos - 1; i >= 0; i-- {
-		if x := e.retired[i]; x.Mode == EX {
+// versionAt returns the data image a reader inserted before at (nil = at
+// the retired tail) must observe: the image installed by the nearest
+// preceding exclusive retiree, or — if none — the pre-image of the first
+// exclusive retiree at or after the position, or the entry's current image
+// when no uncommitted installs exist.
+func versionAt(e *Entry, at *Request) []byte {
+	// Nearest exclusive install before the position: its image is the
+	// version at this slot. (If that writer is doomed, a reader here is
+	// doomed with it — the read stays consistent and the cascade covers
+	// the reader.)
+	before := e.retired.tail
+	if at != nil {
+		before = at.prev
+	}
+	for x := before; x != nil; x = x.prev {
+		if x.Mode == EX {
 			return x.Data
 		}
 	}
-	// No exclusive install precedes pos: the version here is the image
-	// from before the first *live* install at or after pos. Unwound
+	// No exclusive install precedes the position: the version here is the
+	// image from before the first *live* install at or after it. Unwound
 	// installs are skipped — their pre-images point into an abort-rewound
 	// chain that no longer exists.
-	for i := pos; i < len(e.retired); i++ {
-		if x := e.retired[i]; x.Mode == EX && !x.unwound {
-			return x.prev
+	for x := at; x != nil; x = x.next {
+		if x.Mode == EX && !x.unwound {
+			return x.prevImg
 		}
 	}
 	return e.Data
 }
 
-// exBefore reports whether an exclusive retiree precedes position pos.
-func exBefore(e *Entry, pos int) bool {
-	for i := pos - 1; i >= 0; i-- {
-		if e.retired[i].Mode == EX {
+// exBefore reports whether an exclusive retiree precedes the insertion
+// point at (nil = the retired tail).
+func exBefore(e *Entry, at *Request) bool {
+	before := e.retired.tail
+	if at != nil {
+		before = at.prev
+	}
+	for x := before; x != nil; x = x.prev {
+		if x.Mode == EX {
 			return true
 		}
 	}
@@ -599,12 +634,12 @@ func (m *Manager) notifyHeads(e *Entry) {
 		}
 		return true
 	}
-	for _, r := range e.retired {
+	for r := e.retired.head; r != nil; r = r.next {
 		if !visit(r) {
 			return
 		}
 	}
-	for _, r := range e.owners {
+	for r := e.owners.head; r != nil; r = r.next {
 		if !visit(r) {
 			return
 		}
@@ -617,32 +652,24 @@ func (m *Manager) notifyHeads(e *Entry) {
 // requester.
 func (m *Manager) assignOnConflictLocked(t *txn.Txn, mode Mode, e *Entry) {
 	conflict := false
-	scan := func(list []*Request) {
-		for _, r := range list {
+	for _, l := range []*reqList{&e.retired, &e.owners, &e.waiters} {
+		for r := l.head; r != nil; r = r.next {
 			if Conflict(mode, r.Mode) {
 				conflict = true
-				return
+				break
 			}
 		}
-	}
-	scan(e.retired)
-	if !conflict {
-		scan(e.owners)
-	}
-	if !conflict {
-		scan(e.waiters)
+		if conflict {
+			break
+		}
 	}
 	if !conflict {
 		return
 	}
-	for _, r := range e.retired {
-		r.Txn.AssignTSIfUnassigned(&m.tsCounter)
-	}
-	for _, r := range e.owners {
-		r.Txn.AssignTSIfUnassigned(&m.tsCounter)
-	}
-	for _, r := range e.waiters {
-		r.Txn.AssignTSIfUnassigned(&m.tsCounter)
+	for _, l := range []*reqList{&e.retired, &e.owners, &e.waiters} {
+		for r := l.head; r != nil; r = r.next {
+			r.Txn.AssignTSIfUnassigned(&m.tsCounter)
+		}
 	}
 	t.AssignTSIfUnassigned(&m.tsCounter)
 }
@@ -651,20 +678,20 @@ func (m *Manager) assignOnConflictLocked(t *txn.Txn, mode Mode, e *Entry) {
 // or the transaction is marked aborting. It mirrors DBx1000's pause loop:
 // a short Gosched phase followed by escalating sleeps so oversubscribed
 // hosts do not burn cores.
-func (m *Manager) waitGranted(r *Request) (*Request, error) {
+func (m *Manager) waitGranted(r *Request) error {
 	for i := 0; ; i++ {
 		switch r.stateLoad() {
 		case reqOwner, reqRetired:
-			return r, nil
+			return nil
 		case reqDropped:
-			return nil, ErrWound
+			return ErrWound
 		}
 		if r.Txn.Aborting() {
 			e := r.entry
 			e.latch.Lock()
 			switch r.stateLoad() {
 			case reqWaiting:
-				e.waiters, _ = remove(e.waiters, r)
+				e.waiters.remove(r)
 				r.state.Store(int32(reqDropped))
 			case reqOwner, reqRetired:
 				// Granted concurrently with the wound: give the lock
@@ -672,7 +699,7 @@ func (m *Manager) waitGranted(r *Request) (*Request, error) {
 				m.releaseLocked(e, r, true)
 			}
 			e.latch.Unlock()
-			return nil, ErrWound
+			return ErrWound
 		}
 		Backoff(i)
 	}

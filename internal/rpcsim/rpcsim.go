@@ -19,6 +19,7 @@
 package rpcsim
 
 import (
+	"runtime"
 	"time"
 
 	"bamboo/internal/core"
@@ -114,8 +115,14 @@ func (t *latencyTx) Insert(tbl *storage.Table, key uint64, img []byte) error {
 // and retires immediately.
 func (t *latencyTx) DeclareOps(int) {}
 
-// sleep busy-waits for very short durations (timer granularity on Linux
-// makes time.Sleep overshoot badly below ~100µs) and sleeps otherwise.
+// sleep waits for very short durations by spinning (timer granularity on
+// Linux makes time.Sleep overshoot badly below ~100µs) and sleeps
+// otherwise. The spin yields the processor each iteration: a network
+// stall must not consume a core, or on hosts with fewer cores than
+// workers every protocol degenerates to the same CPU-bound throughput
+// and the lock-holding differences interactive mode exists to expose
+// (paper §5.1) disappear. On an unloaded host Gosched returns
+// immediately and the spin stays wall-clock accurate.
 func sleep(d time.Duration) {
 	if d <= 0 {
 		return
@@ -126,5 +133,6 @@ func sleep(d time.Duration) {
 	}
 	deadline := time.Now().Add(d)
 	for time.Now().Before(deadline) {
+		runtime.Gosched()
 	}
 }

@@ -155,3 +155,89 @@ func TestStrings(t *testing.T) {
 		t.Fatal("empty String()")
 	}
 }
+
+// TestTSAllocUniqueOrdered checks the sharded allocator's contract:
+// never TSUnassigned, strictly increasing per worker, unique across
+// workers, and cross-worker order roughly tracking allocation time.
+func TestTSAllocUniqueOrdered(t *testing.T) {
+	const workers, perWorker = 8, 2000
+	results := make([][]uint64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			a := NewTSAlloc(w)
+			out := make([]uint64, perWorker)
+			for i := range out {
+				out[i] = a.Next()
+			}
+			results[w] = out
+		}(w)
+	}
+	wg.Wait()
+	seen := make(map[uint64]int, workers*perWorker)
+	for w, out := range results {
+		for i, ts := range out {
+			if ts == TSUnassigned {
+				t.Fatalf("worker %d drew TSUnassigned", w)
+			}
+			if ts&(TSWorkerSlots-1) != uint64(w) {
+				t.Fatalf("worker %d ts %d carries wrong worker bits", w, ts)
+			}
+			if i > 0 && out[i-1] >= ts {
+				t.Fatalf("worker %d not strictly increasing at %d: %d >= %d", w, i, out[i-1], ts)
+			}
+			if prev, dup := seen[ts]; dup {
+				t.Fatalf("timestamp %d drawn by workers %d and %d", ts, prev, w)
+			}
+			seen[ts] = w
+		}
+	}
+}
+
+// TestTSAllocAttachedOverridesCounter checks that a transaction with an
+// attached allocator ignores the fallback counter (the sharded path)
+// while an unattached one still uses it.
+func TestTSAllocAttachedOverridesCounter(t *testing.T) {
+	var counter atomic.Uint64
+	with := New(1)
+	with.SetTSAlloc(NewTSAlloc(3))
+	ts := with.AssignTSIfUnassigned(&counter)
+	if ts == TSUnassigned || counter.Load() != 0 {
+		t.Fatalf("allocator-backed assignment touched the counter (ts=%d counter=%d)", ts, counter.Load())
+	}
+	if ts&(TSWorkerSlots-1) != 3 {
+		t.Fatalf("ts %d does not carry worker 3's bits", ts)
+	}
+	without := New(2)
+	if got := without.AssignTSIfUnassigned(&counter); got != 1 {
+		t.Fatalf("fallback assignment = %d, want 1", got)
+	}
+}
+
+// TestTSAllocWorkerSlotFolding documents the folding of large worker
+// indexes into the slot space.
+func TestTSAllocWorkerSlotFolding(t *testing.T) {
+	a := NewTSAlloc(TSWorkerSlots + 5)
+	if got := a.Next() & (TSWorkerSlots - 1); got != 5 {
+		t.Fatalf("worker bits = %d, want 5", got)
+	}
+}
+
+// TestRenewClearsEverything checks Renew resets a recycled transaction
+// to a brand-new logical transaction (fresh ts, sem, cause, state).
+func TestRenewClearsEverything(t *testing.T) {
+	tx := New(1)
+	tx.SetTS(77)
+	tx.SemIncr()
+	tx.SetAbort(CauseWound)
+	tx.FinishAbort()
+	tx.Attempt = 9
+	tx.Renew(42)
+	if tx.ID != 42 || tx.Attempt != 0 || tx.HasTS() || tx.Sem() != 0 ||
+		tx.Cause() != CauseNone || tx.State() != StateRunning {
+		t.Fatalf("renew left state behind: %+v ts=%d sem=%d cause=%s state=%s",
+			tx, tx.TS(), tx.Sem(), tx.Cause(), tx.State())
+	}
+}

@@ -7,6 +7,17 @@
 // Bamboo requires no special logging treatment (paper §3.4): a transaction
 // writes its commit record only after the concurrency-control protocol is
 // satisfied (commit_semaphore drained), exactly like conventional 2PL.
+//
+// Two commit disciplines are supported:
+//
+//   - per-record (New): every Commit appends straight to the device;
+//   - group commit (NewGroupCommit): committers hand their encoded record
+//     to a background flusher and block until the epoch containing it is
+//     durable, so one device write covers a whole batch of transactions.
+//
+// For the zero-allocation hot path, workers encode records into reusable
+// per-worker buffers through Appender handles; Device implementations must
+// therefore not retain the byte slice passed to Append past its return.
 package wal
 
 import (
@@ -15,6 +26,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"time"
 )
 
 // Record is one commit record: the transaction id and its after-images.
@@ -31,19 +43,35 @@ type Write struct {
 }
 
 // Device is the destination of serialized commit records.
+//
+// Append must not retain rec after it returns: callers reuse the buffer
+// for the next record.
 type Device interface {
 	// Append durably appends one serialized record and returns its LSN.
 	Append(rec []byte) (lsn uint64, err error)
 }
 
-// Log serializes commit records and appends them to a device. It is safe
-// for concurrent use; serialization happens outside the device lock.
-type Log struct {
-	dev Device
+// BatchDevice is optionally implemented by devices that can make a whole
+// batch of records durable in one operation; the group committer uses it
+// to amortize per-append costs. AppendBatch returns the LSN of the last
+// record in the batch. The no-retention rule of Append applies.
+type BatchDevice interface {
+	AppendBatch(recs [][]byte) (lastLSN uint64, err error)
 }
 
-// New returns a log over the given device; a nil device means an
-// in-memory device with recording enabled.
+// ErrClosed is returned by Commit after Close.
+var ErrClosed = errors.New("wal: log closed")
+
+// Log serializes commit records and appends them to a device, either
+// per-record or through an epoch-based group committer. It is safe for
+// concurrent use; serialization happens outside the device lock.
+type Log struct {
+	dev Device
+	gc  *groupCommitter // nil = per-record commits
+}
+
+// New returns a per-record log over the given device; a nil device means
+// an in-memory device with recording enabled.
 func New(dev Device) *Log {
 	if dev == nil {
 		dev = NewMemDevice(true)
@@ -51,9 +79,194 @@ func New(dev Device) *Log {
 	return &Log{dev: dev}
 }
 
-// Commit serializes and appends rec, returning its LSN.
+// NewGroupCommit returns a log whose commits are batched by a background
+// flusher. interval is the epoch accumulation window: 0 flushes as soon as
+// the flusher observes pending records (pure piggyback batching — records
+// arriving while a flush is in progress form the next batch), larger
+// values trade commit latency for bigger batches. Close must be called to
+// stop the flusher.
+func NewGroupCommit(dev Device, interval time.Duration) *Log {
+	if dev == nil {
+		dev = NewMemDevice(true)
+	}
+	l := &Log{dev: dev, gc: newGroupCommitter(dev, interval)}
+	go l.gc.loop()
+	return l
+}
+
+// GroupCommit reports whether the log batches commits.
+func (l *Log) GroupCommit() bool { return l.gc != nil }
+
+// Commit serializes and appends rec, returning its LSN (in group-commit
+// mode: the last LSN of the flushed batch). The convenience path for
+// tests; hot paths use an Appender to reuse the encode buffer.
 func (l *Log) Commit(rec *Record) (uint64, error) {
-	return l.dev.Append(Encode(rec))
+	return l.append(Encode(rec))
+}
+
+// Close stops the group-commit flusher after draining pending records.
+// It is a no-op for per-record logs. Commits issued after Close fail with
+// ErrClosed.
+func (l *Log) Close() error {
+	if l.gc == nil {
+		return nil
+	}
+	return l.gc.close()
+}
+
+func (l *Log) append(enc []byte) (uint64, error) {
+	if l.gc != nil {
+		return l.gc.commit(enc)
+	}
+	return l.dev.Append(enc)
+}
+
+// Appender is a per-worker commit handle owning a reusable encode buffer,
+// so steady-state commits allocate nothing. Not safe for concurrent use;
+// each worker session owns one.
+type Appender struct {
+	l   *Log
+	buf []byte
+}
+
+// NewAppender returns a commit handle for one worker.
+func (l *Log) NewAppender() *Appender { return &Appender{l: l} }
+
+// Commit encodes rec into the appender's buffer and commits it. The
+// buffer is reused on the next call, which is safe under the Device
+// no-retention rule and because group commit blocks until the flush that
+// covers the record completes.
+func (a *Appender) Commit(rec *Record) (uint64, error) {
+	a.buf = AppendRecord(a.buf[:0], rec)
+	return a.l.append(a.buf)
+}
+
+// groupCommitter implements epoch-based group commit: committers append
+// their encoded record to the pending batch of the open epoch and sleep
+// until the flusher reports that epoch durable. The flusher closes an
+// epoch, writes its whole batch with one (batched, if supported) device
+// call, then wakes every committer that was in it.
+type groupCommitter struct {
+	dev      Device
+	interval time.Duration
+
+	mu      sync.Mutex
+	work    sync.Cond // signaled when pending work or close arrives
+	flushed sync.Cond // broadcast when durable advances
+	pending [][]byte  // records of the open epoch
+	spare   [][]byte  // recycled batch slice
+	epoch   uint64    // open epoch number
+	durable uint64    // last durable epoch
+	lastLSN uint64    // device LSN of the last flushed record
+	err     error     // sticky flush error, reported to all waiters
+	closed  bool
+	done    bool // flusher exited
+}
+
+func newGroupCommitter(dev Device, interval time.Duration) *groupCommitter {
+	g := &groupCommitter{dev: dev, interval: interval, epoch: 1}
+	g.work.L = &g.mu
+	g.flushed.L = &g.mu
+	return g
+}
+
+// commit registers enc in the open epoch and blocks until that epoch is
+// durable. enc must remain unmodified until commit returns.
+func (g *groupCommitter) commit(enc []byte) (uint64, error) {
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		return 0, ErrClosed
+	}
+	e := g.epoch
+	g.pending = append(g.pending, enc)
+	if len(g.pending) == 1 {
+		g.work.Signal()
+	}
+	// Wait until the flusher has consumed our epoch even when a sticky
+	// error from an earlier epoch is already set: returning while enc is
+	// still queued would let the caller reuse its encode buffer under the
+	// flusher's feet. durable advances past e on every flush (success or
+	// failure), so this always terminates; the flusher never exits with
+	// records still pending.
+	for g.durable < e && !g.done {
+		g.flushed.Wait()
+	}
+	lsn, err := g.lastLSN, g.err
+	if err == nil && g.durable < e {
+		err = ErrClosed // flusher exited without covering our epoch
+	}
+	g.mu.Unlock()
+	return lsn, err
+}
+
+func (g *groupCommitter) close() error {
+	g.mu.Lock()
+	g.closed = true
+	g.work.Signal()
+	for !g.done {
+		g.flushed.Wait()
+	}
+	err := g.err
+	g.mu.Unlock()
+	return err
+}
+
+func (g *groupCommitter) loop() {
+	g.mu.Lock()
+	for {
+		for len(g.pending) == 0 && !g.closed {
+			g.work.Wait()
+		}
+		if len(g.pending) == 0 && g.closed {
+			g.done = true
+			g.flushed.Broadcast()
+			g.mu.Unlock()
+			return
+		}
+		if g.interval > 0 && !g.closed {
+			// Epoch accumulation window: let more committers pile in.
+			g.mu.Unlock()
+			time.Sleep(g.interval)
+			g.mu.Lock()
+		}
+		batch := g.pending
+		g.pending = g.spare[:0]
+		e := g.epoch
+		g.epoch++
+		g.mu.Unlock()
+
+		lsn, err := flushBatch(g.dev, batch)
+
+		for i := range batch {
+			batch[i] = nil
+		}
+		g.mu.Lock()
+		g.spare = batch[:0]
+		g.durable = e
+		if lsn != 0 {
+			g.lastLSN = lsn
+		}
+		if err != nil && g.err == nil {
+			g.err = err
+		}
+		g.flushed.Broadcast()
+	}
+}
+
+func flushBatch(dev Device, batch [][]byte) (uint64, error) {
+	if bd, ok := dev.(BatchDevice); ok {
+		return bd.AppendBatch(batch)
+	}
+	var lsn uint64
+	for _, rec := range batch {
+		l, err := dev.Append(rec)
+		if err != nil {
+			return lsn, err
+		}
+		lsn = l
+	}
+	return lsn, nil
 }
 
 // Encode serializes a record:
@@ -64,7 +277,13 @@ func Encode(rec *Record) []byte {
 	for _, w := range rec.Writes {
 		n += 2 + len(w.Table) + 8 + 4 + len(w.Image)
 	}
-	buf := make([]byte, 0, n)
+	return AppendRecord(make([]byte, 0, n), rec)
+}
+
+// AppendRecord serializes rec onto buf (in the Encode format) and returns
+// the extended slice; the zero-allocation path once buf's capacity has
+// grown to the workload's record size.
+func AppendRecord(buf []byte, rec *Record) []byte {
 	buf = binary.LittleEndian.AppendUint64(buf, rec.TxnID)
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(rec.Writes)))
 	for _, w := range rec.Writes {
@@ -122,12 +341,13 @@ func Decode(buf []byte) (*Record, error) {
 
 // MemDevice is an in-memory log device. With record=false it only counts
 // appends (the benchmark configuration: pay serialization cost, keep no
-// unbounded history); with record=true it retains records for recovery
-// tests.
+// unbounded history); with record=true it retains copies of the records
+// for recovery tests.
 type MemDevice struct {
 	mu      sync.Mutex
 	lsn     uint64
 	bytes   uint64
+	batches uint64
 	record  bool
 	records [][]byte
 }
@@ -139,12 +359,33 @@ func NewMemDevice(record bool) *MemDevice { return &MemDevice{record: record} }
 func (d *MemDevice) Append(rec []byte) (uint64, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	d.batches++
+	return d.appendLocked(rec), nil
+}
+
+// AppendBatch implements BatchDevice: the whole batch is made durable
+// under one lock acquisition.
+func (d *MemDevice) AppendBatch(recs [][]byte) (uint64, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.batches++
+	var lsn uint64
+	for _, rec := range recs {
+		lsn = d.appendLocked(rec)
+	}
+	return lsn, nil
+}
+
+func (d *MemDevice) appendLocked(rec []byte) uint64 {
 	d.lsn++
 	d.bytes += uint64(len(rec))
 	if d.record {
-		d.records = append(d.records, rec)
+		// Copy: the caller reuses its encode buffer (Device contract).
+		cp := make([]byte, len(rec))
+		copy(cp, rec)
+		d.records = append(d.records, cp)
 	}
-	return d.lsn, nil
+	return d.lsn
 }
 
 // Len returns the number of appended records.
@@ -159,6 +400,14 @@ func (d *MemDevice) Bytes() uint64 {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return d.bytes
+}
+
+// Batches returns the number of device write operations (one per Append
+// or AppendBatch call) — the quantity group commit amortizes.
+func (d *MemDevice) Batches() uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.batches
 }
 
 // Records returns decoded copies of all retained records.
@@ -190,6 +439,25 @@ func NewWriterDevice(w io.Writer) *WriterDevice { return &WriterDevice{w: w} }
 func (d *WriterDevice) Append(rec []byte) (uint64, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	return d.appendLocked(rec)
+}
+
+// AppendBatch implements BatchDevice.
+func (d *WriterDevice) AppendBatch(recs [][]byte) (uint64, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var lsn uint64
+	for _, rec := range recs {
+		l, err := d.appendLocked(rec)
+		if err != nil {
+			return lsn, err
+		}
+		lsn = l
+	}
+	return lsn, nil
+}
+
+func (d *WriterDevice) appendLocked(rec []byte) (uint64, error) {
 	var hdr [4]byte
 	binary.LittleEndian.PutUint32(hdr[:], uint32(len(rec)))
 	if _, err := d.w.Write(hdr[:]); err != nil {
