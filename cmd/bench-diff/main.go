@@ -11,8 +11,13 @@
 //	bench-diff -max-tps-drop 0.05 -max-p99-rise 0.50 old.json new.json
 //
 // Points are matched by (experiment id, x label, protocol). Points
-// missing from the new run are reported but do not fail the gate;
-// baseline points below -min-commits are skipped as noise.
+// missing from the new run are reported but do not fail the gate — as
+// long as at least one point still compared. If *nothing* compared and
+// baseline points went missing, the gate has become vacuous (renamed
+// experiment id or x-label format, wrong file) and bench-diff fails:
+// a gate that silently compares zero points is exactly the self-diff
+// failure mode the committed baselines exist to prevent. Baseline
+// points below -min-commits are skipped as noise.
 //
 // Exit status: 0 = no regressions, 1 = regressions found, 2 = usage or
 // I/O error.
@@ -74,6 +79,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		MinCommits:     *minCommits,
 	})
 	d.Print(stdout)
+	if d.Compared == 0 && len(d.MissingInNew) > 0 {
+		fmt.Fprintln(stdout, "VACUOUS GATE: no baseline point matched the new run "+
+			"(renamed experiment/x/protocol keys, or wrong file) — failing")
+		return 1
+	}
 	if !d.OK() {
 		return 1
 	}

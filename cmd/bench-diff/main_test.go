@@ -79,9 +79,24 @@ func TestExitCodeMatrix(t *testing.T) {
 			exit: 0, want: "1 skipped below commit floor",
 		},
 		{
-			name: "missing point reported but passes",
+			// Every baseline point unmatched = the gate compares nothing.
+			// That is the self-diff vacuousness the committed baselines
+			// exist to prevent, so it fails rather than passing silently.
+			name: "all points missing fails as vacuous",
 			old:  base, new: &report.File{SchemaVersion: report.SchemaVersion},
-			exit: 0, want: "missing: fig6 / threads=4 / BAMBOO",
+			exit: 1, want: "VACUOUS GATE",
+		},
+		{
+			name: "partially missing still passes while something compares",
+			old: &report.File{SchemaVersion: report.SchemaVersion,
+				Experiments: []report.Experiment{{
+					ID: "fig6",
+					Points: []report.Point{
+						{X: "threads=4", Protocol: "BAMBOO", Commits: 5000, ThroughputTPS: 10000, Latency: report.Latency{P99: 1_000_000}},
+						{X: "threads=4", Protocol: "GONE", Commits: 5000, ThroughputTPS: 10000, Latency: report.Latency{P99: 1_000_000}},
+					}}}},
+			new:  base,
+			exit: 0, want: "missing: fig6 / threads=4 / GONE",
 		},
 		{
 			name: "custom threshold flags flip the verdict",

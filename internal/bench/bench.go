@@ -114,6 +114,7 @@ func All() []Experiment {
 		{"delta", "§5.1: delta sweep for Optimization 2", DeltaSweep},
 		{"ablation", "Ablation: Bamboo optimizations on/off", Ablation},
 		{"scaling", "Scaling: thread ladder on the interactive hotspot workload", ScalingSweep},
+		{"upgrade", "Upgrade: un-annotated RMW hotspot, SH→EX upgrade-rate sweep", UpgradeSweep},
 	}
 }
 
@@ -151,12 +152,6 @@ func ToExperiment(id, title string, elapsed time.Duration, rows []Row) report.Ex
 // Print renders rows grouped by X in the table format.
 func Print(w io.Writer, title string, rows []Row) {
 	report.WriteTable(w, ToExperiment("", title, 0, rows))
-}
-
-// protocol configuration sets used across figures.
-
-func lockConfigs() []core.Config {
-	return []core.Config{core.Bamboo(), core.WoundWait(), core.WaitDie(), core.NoWait()}
 }
 
 // engineFor builds a fresh engine (and DB) for a protocol configuration.
@@ -633,6 +628,44 @@ func ScalingSweep(s Scale) []Row {
 	return rows
 }
 
+// UpgradeSweep measures the SH→EX upgrade path on the contended
+// read-modify-write hotspot shape (the TXSQL-style pattern): high-skew
+// YCSB where a swept fraction of the updates is issued un-annotated —
+// the transaction reads the row and only then updates it, so the
+// executor must upgrade the shared lock in place. BAMBOO (retiring the
+// upgraded write early) is compared against WOUND_WAIT and NO_WAIT; at
+// rmw=0 the series coincides with the declared-write workload, so the
+// sweep isolates what upgrades themselves cost each protocol. All three
+// builders get a small abort backoff (DBx1000's ABORT_PENALTY): no-wait
+// upgrade conflicts are symmetric — two readers of the same row both
+// fail their upgrade — and without jitter they can chase each other
+// unproductively.
+func UpgradeSweep(s Scale) []Row {
+	threads := maxThreads(s)
+	mk := func(cfg core.Config) engineBuilder {
+		cfg.AbortBackoffMax = 100 * time.Microsecond
+		return lockBuilder(cfg)
+	}
+	builders := []engineBuilder{
+		mk(core.Bamboo()),
+		mk(core.WoundWait()),
+		mk(core.NoWait()),
+	}
+	var rows []Row
+	for _, rmw := range []float64{0, 0.5, 1.0} {
+		cfg := ycsb.DefaultConfig()
+		cfg.Rows = s.Rows
+		cfg.Theta = 0.9
+		cfg.RMWFrac = rmw
+		x := fmt.Sprintf("rmw=%.2f threads=%d", rmw, threads)
+		for _, b := range builders {
+			rep := runPoint(s, b, false, ycsbLoader(cfg), threads)
+			rows = append(rows, Row{X: x, Protocol: b.name, Report: rep})
+		}
+	}
+	return rows
+}
+
 // scalingThreads is the ladder for ScalingSweep: an explicit -threads
 // sweep (or any multi-point one) wins; otherwise powers of two up to
 // max(16, 2×GOMAXPROCS), so the sweep reaches contention territory even
@@ -657,11 +690,4 @@ func maxThreads(s Scale) int {
 	ts := append([]int(nil), s.threads()...)
 	sort.Ints(ts)
 	return ts[len(ts)-1]
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

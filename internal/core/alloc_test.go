@@ -10,25 +10,41 @@ import (
 
 // Pre-refactor baselines, measured at the PR-1 tree (slice-based entry
 // lists, per-acquire Request allocation, per-attempt lockTx/byRow/accesses
-// allocation, per-commit WAL encode buffer) with the exact harness below.
-// The allocation-gate CI job enforces that the zero-allocation hot path
-// stays at least 50% below these.
+// allocation, per-commit WAL encode buffer) with the exact harness below,
+// kept for the log line's sake. The gate itself is the absolute
+// allocBudget ratchet below.
 const (
 	seedAllocsBamboo    = 76.0
 	seedAllocsWoundWait = 78.0
 )
+
+// allocBudget is the ratcheted allocs/txn ceiling. Measured steady state
+// on this harness is ~17 allocs/txn — almost entirely the ~8 average
+// per-txn private write-image clones, which are inherent to the
+// install-by-pointer-swap design (published images must be fresh because
+// committed readers hold references to the old ones). 24 leaves headroom
+// for Go-version and map-growth noise while still catching any
+// reintroduced per-attempt or per-acquire allocation (each costs ≥8/txn
+// on this workload).
+const allocBudget = 24.0
 
 // measureAllocsPerTxn reports the average heap allocations per committed
 // transaction on the YCSB medium-contention stored-procedure path, driven
 // by a single session so the count is deterministic (no aborts, no
 // concurrent noise).
 func measureAllocsPerTxn(t *testing.T, cfg core.Config) float64 {
+	return measureAllocsPerTxnRMW(t, cfg, 0)
+}
+
+// measureAllocsPerTxnRMW is measureAllocsPerTxn with a fraction of the
+// updates issued as un-annotated read-modify-writes (SH→EX upgrades).
+func measureAllocsPerTxnRMW(t *testing.T, cfg core.Config, rmwFrac float64) float64 {
 	t.Helper()
 	db := core.NewDB(cfg)
 	defer db.Close()
 	w, err := ycsb.Load(db, ycsb.Config{
 		Rows: 20000, OpsPerTxn: 16, Theta: 0.6, ReadRatio: 0.5,
-		Columns: 10, ColumnBytes: 100,
+		Columns: 10, ColumnBytes: 100, RMWFrac: rmwFrac,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -54,10 +70,11 @@ func measureAllocsPerTxn(t *testing.T, cfg core.Config) float64 {
 }
 
 // TestAllocBudget is the allocation gate: the per-transaction allocation
-// count on the YCSB medium-contention path must stay at least 50% below
-// the pre-refactor baseline. The bulk of what remains is the per-write
-// private image clone (8 EX accesses/txn on average), which is inherent
-// to the install-by-pointer-swap design: published images must be fresh
+// count on the YCSB medium-contention path must stay under the ratcheted
+// absolute ceiling (allocBudget, down from the original ≤50%-of-seed
+// rule). The bulk of what remains is the per-write private image clone
+// (8 EX accesses/txn on average), which is inherent to the
+// install-by-pointer-swap design: published images must be fresh
 // allocations because committed readers hold references to the old ones.
 func TestAllocBudget(t *testing.T) {
 	cases := []struct {
@@ -71,13 +88,12 @@ func TestAllocBudget(t *testing.T) {
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
 			got := measureAllocsPerTxn(t, c.cfg)
-			budget := c.baseline * 0.5
 			t.Logf("%s: %.1f allocs/txn (seed baseline %.0f, budget %.0f)",
-				c.name, got, c.baseline, budget)
-			if got > budget {
+				c.name, got, c.baseline, allocBudget)
+			if got > allocBudget {
 				t.Fatalf("allocs/txn = %.1f exceeds budget %.1f (seed baseline %.0f; "+
 					"the hot path regressed — look for per-attempt or per-acquire allocations)",
-					got, budget, c.baseline)
+					got, allocBudget, c.baseline)
 			}
 		})
 	}
@@ -89,9 +105,40 @@ func TestAllocBudgetGroupCommit(t *testing.T) {
 	cfg := core.Bamboo()
 	cfg.GroupCommit = true
 	got := measureAllocsPerTxn(t, cfg)
-	budget := seedAllocsBamboo * 0.5
-	t.Logf("bamboo+gc: %.1f allocs/txn (budget %.0f)", got, budget)
-	if got > budget {
-		t.Fatalf("group-commit allocs/txn = %.1f exceeds budget %.1f", got, budget)
+	t.Logf("bamboo+gc: %.1f allocs/txn (budget %.0f)", got, allocBudget)
+	if got > allocBudget {
+		t.Fatalf("group-commit allocs/txn = %.1f exceeds budget %.1f", got, allocBudget)
+	}
+}
+
+// TestAllocBudgetUpgradePath asserts the SH→EX upgrade path adds zero
+// steady-state allocations: with every update issued as an un-annotated
+// read-modify-write, the only allocation the upgrade performs is the
+// private write-image clone — the same clone a declared exclusive
+// acquisition would have made — so allocs/txn must stay inside the same
+// budget and within noise of the fully annotated run.
+func TestAllocBudgetUpgradePath(t *testing.T) {
+	for _, c := range []struct {
+		name string
+		cfg  core.Config
+	}{
+		{"bamboo", core.Bamboo()},
+		{"woundwait", core.WoundWait()},
+	} {
+		t.Run(c.name, func(t *testing.T) {
+			annotated := measureAllocsPerTxnRMW(t, c.cfg, 0)
+			upgraded := measureAllocsPerTxnRMW(t, c.cfg, 1.0)
+			t.Logf("%s: annotated %.1f, upgraded %.1f allocs/txn (budget %.0f)",
+				c.name, annotated, upgraded, allocBudget)
+			if upgraded > allocBudget {
+				t.Fatalf("upgrade-path allocs/txn = %.1f exceeds budget %.1f", upgraded, allocBudget)
+			}
+			// Zero steady-state delta, with a half-alloc tolerance for
+			// AllocsPerRun jitter.
+			if upgraded > annotated+0.5 {
+				t.Fatalf("upgrade path allocates: %.1f vs %.1f allocs/txn annotated",
+					upgraded, annotated)
+			}
+		})
 	}
 }

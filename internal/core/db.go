@@ -26,11 +26,6 @@ import (
 // The session aborts the transaction and does not retry it.
 var ErrUserAbort = errors.New("core: user-initiated abort")
 
-// errUpgrade reports an SH→EX lock upgrade attempt, which this executor
-// does not support; workloads declare the final access mode up front, as
-// DBx1000's stored procedures do.
-var errUpgrade = errors.New("core: lock upgrade (read then update of the same row) not supported")
-
 // Config selects the protocol variant and Bamboo's optimization toggles.
 type Config struct {
 	// Variant is the lock-table discipline.
@@ -201,7 +196,10 @@ type Tx interface {
 	// Read returns the image of row visible to this transaction. The
 	// caller must not mutate it.
 	Read(row *storage.Row) ([]byte, error)
-	// Update applies mutate to this transaction's private copy of row.
+	// Update applies mutate to this transaction's private copy of row. A
+	// row this transaction previously Read is upgraded SH→EX in place
+	// (un-annotated read-modify-write), so workloads need not declare
+	// read vs. write intent up front.
 	Update(row *storage.Row, mutate func(img []byte)) error
 	// Insert buffers a row insert that becomes visible at commit.
 	Insert(tbl *storage.Table, key uint64, img []byte) error

@@ -170,7 +170,31 @@ func (tx *lockTx) Update(row *storage.Row, mutate func(img []byte)) error {
 	if i, ok := tx.byRow[row]; ok {
 		a := &tx.accesses[i]
 		if a.mode != lock.EX {
-			return errUpgrade
+			// SH→EX upgrade: promote the existing request in place. The
+			// access entry, byRow index and (for Bamboo) any dirty-read
+			// dependency the shared grant took all carry over; only the
+			// mode and the retire decision are new. On error the request
+			// is still a granted shared lock and the normal rollback
+			// releases it.
+			start := time.Now()
+			err := tx.db.Lock.Upgrade(a.req)
+			tx.lockWait += time.Since(start)
+			if err != nil {
+				return err
+			}
+			a.mode = lock.EX
+			// No opIndex increment: the row was already counted at its
+			// Read, and workloads declare an RMW row as one access — a
+			// second count would skew the δ-retire cutoff.
+			if tx.db.cfg.CaptureReads && a.readImage == nil {
+				a.readImage = bytes.Clone(a.req.Data)
+			}
+			mutate(a.req.Data)
+			if tx.shouldRetire() {
+				tx.db.Lock.Retire(a.req)
+				a.retired = true
+			}
+			return nil
 		}
 		if a.retired {
 			return fatalf("second write to a retired row (table %s key %d); "+

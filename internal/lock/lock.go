@@ -317,6 +317,14 @@ type Entry struct {
 	owners  reqList // mutually compatible
 	waiters reqList // sorted by ascending timestamp (FIFO under Wait-Die)
 
+	// upgrading marks a pending SH→EX upgrade (the oldest one, if several
+	// race). Grant paths treat it as an exclusive request at its holder's
+	// timestamp so younger readers queue instead of being granted and
+	// immediately wounded again — without it an upgrade could be starved
+	// by reader churn, since the upgrader never joins the waiters list.
+	// Guarded by latch.
+	upgrading *Request
+
 	// scratch is reused by orderSuccessorsLocked to track applied
 	// semaphore increments without allocating. Guarded by latch.
 	scratch []*Request
@@ -381,6 +389,12 @@ func (e *Entry) CheckInvariants() error {
 	for x := e.retired.head; x != nil && x.next != nil; x = x.next {
 		if x.Txn.TS() > x.next.Txn.TS() {
 			return fmt.Errorf("retired not sorted at %s", x.next.Txn)
+		}
+	}
+	// a pending upgrade must reference a granted member of this entry.
+	if u := e.upgrading; u != nil {
+		if u.onList != &e.owners && u.onList != &e.retired {
+			return fmt.Errorf("pending upgrade %s is not a holder", u.Txn)
 		}
 	}
 	// request states must match list membership.

@@ -132,6 +132,14 @@ func (m *Manager) AcquireInto(r *Request, t *txn.Txn, mode Mode, e *Entry) error
 		// queued conflicting transaction and must be older than all of
 		// them.
 		die := false
+		// A pending upgrade is exclusive intent at its holder's timestamp:
+		// without this clause a younger compatible reader would be admitted
+		// and then blocked behind the upgrade marker in promoteWaiters — a
+		// younger-waits-for-older edge that Wait-Die's deadlock-freedom
+		// argument forbids (and that closes real cross-entry cycles).
+		if u := e.upgrading; u != nil && u.Txn != t && u.Txn.TS() < t.TS() {
+			die = true
+		}
 		for _, l := range []*reqList{&e.retired, &e.owners, &e.waiters} {
 			for h := l.head; h != nil; h = h.next {
 				if Conflict(mode, h.Mode) && h.Txn.TS() < t.TS() {
@@ -183,6 +191,236 @@ func (m *Manager) AcquireInto(r *Request, t *txn.Txn, mode Mode, e *Entry) error
 		return nil
 	}
 	return m.waitGranted(r)
+}
+
+// Upgrade promotes r — a granted shared request — to exclusive mode in
+// place, without ever giving up the shared hold (so the image the
+// transaction read stays protected through the upgrade; an upgraded
+// read-modify-write can never lose an update to a concurrent writer).
+// With intrusive lists the upgrade itself is a relink plus a wound check:
+// no second Request, no release/re-acquire window.
+//
+// Deadlock handling follows each variant's discipline, treating the
+// upgrade as an exclusive request at r's own timestamp:
+//
+//   - NoWait: any other holder aborts the upgrader (ErrNoWait).
+//   - WaitDie: an older conflicting holder makes the upgrader self-abort
+//     (ErrDie); otherwise it waits for the younger holders to drain (they
+//     release, or die when they attempt their own upgrade against us).
+//   - WoundWait/Bamboo: younger holders — shared owners and, for Bamboo,
+//     retired readers that bypassed us — are wounded; the upgrader waits
+//     only for older holders to leave. Two upgraders of the same entry
+//     therefore resolve like any other wound: the older one wounds the
+//     younger, which observes Aborting and returns ErrWound. Every wait
+//     edge an upgrade introduces points from a younger to an older
+//     timestamp (or older to younger under Wait-Die), so the variant's
+//     deadlock-freedom argument carries over unchanged.
+//
+// On success r is an exclusive member of the owners list (a retired
+// shared request is un-retired: unlike a retired write it has installed
+// nothing yet) and r.Data is a private mutable copy of the image the
+// request was reading, exactly as if the lock had been acquired EX. Under
+// Bamboo the upgrader commit-orders itself behind every remaining retiree
+// (all older and live at that point, or it could not have completed).
+//
+// On error r is STILL a granted shared request, attached to its entry:
+// the caller's normal rollback path releases it along with the rest of
+// the access list. This differs from AcquireInto's detached-on-error
+// contract and is what keeps the executor's bookkeeping trivial.
+func (m *Manager) Upgrade(r *Request) error {
+	if r.Mode == EX {
+		return nil
+	}
+	t := r.Txn
+	e := r.entry
+	if t.Aborting() {
+		return ErrAborting
+	}
+	for i := 0; ; i++ {
+		e.latch.Lock()
+		if t.Aborting() {
+			dropUpgradeLocked(e, r)
+			e.latch.Unlock()
+			return ErrWound
+		}
+		if m.cfg.DynamicTS {
+			m.assignOnUpgradeLocked(t, e, r)
+		}
+		claimUpgradeLocked(e, r)
+		switch m.cfg.Variant {
+		case NoWait:
+			if otherHolder(e, r) {
+				dropUpgradeLocked(e, r)
+				e.latch.Unlock()
+				return ErrNoWait
+			}
+		case WaitDie:
+			if olderOtherHolder(e, r) {
+				dropUpgradeLocked(e, r)
+				e.latch.Unlock()
+				return ErrDie
+			}
+		case WoundWait, Bamboo:
+			m.woundForUpgradeLocked(e, r)
+		}
+		if !upgradeBlockedLocked(e, r) {
+			m.completeUpgradeLocked(e, r)
+			dropUpgradeLocked(e, r)
+			e.latch.Unlock()
+			return nil
+		}
+		e.latch.Unlock()
+		Backoff(i)
+	}
+}
+
+// claimUpgradeLocked registers r as the entry's pending upgrade unless an
+// older upgrade already holds the slot (in which case r is doomed anyway:
+// the older upgrader wounds it under Wound-Wait/Bamboo, or r dies on the
+// older holder under Wait-Die).
+func claimUpgradeLocked(e *Entry, r *Request) {
+	if e.upgrading == nil || e.upgrading.Txn.TS() > r.Txn.TS() {
+		e.upgrading = r
+	}
+}
+
+// dropUpgradeLocked clears the pending-upgrade slot if r holds it.
+func dropUpgradeLocked(e *Entry, r *Request) {
+	if e.upgrading == r {
+		e.upgrading = nil
+	}
+}
+
+// otherHolder reports whether any granted request besides r exists on the
+// entry. An upgrade conflicts with every other holder regardless of mode.
+func otherHolder(e *Entry, r *Request) bool {
+	for x := e.owners.head; x != nil; x = x.next {
+		if x != r {
+			return true
+		}
+	}
+	for x := e.retired.head; x != nil; x = x.next {
+		if x != r {
+			return true
+		}
+	}
+	return false
+}
+
+// olderOtherHolder reports whether a holder besides r with a strictly
+// smaller timestamp exists (the Wait-Die upgrade self-abort condition).
+func olderOtherHolder(e *Entry, r *Request) bool {
+	ts := r.Txn.TS()
+	for x := e.owners.head; x != nil; x = x.next {
+		if x != r && x.Txn.TS() < ts {
+			return true
+		}
+	}
+	for x := e.retired.head; x != nil; x = x.next {
+		if x != r && x.Txn.TS() < ts {
+			return true
+		}
+	}
+	return false
+}
+
+// woundForUpgradeLocked wounds every holder besides r with a larger
+// timestamp. Unlike woundLocked there is no conflict-point scan: the
+// upgrade is exclusive, so every other holder conflicts.
+func (m *Manager) woundForUpgradeLocked(e *Entry, r *Request) {
+	ts := r.Txn.TS()
+	wound := func(x *Request) {
+		if x != r && x.Txn.TS() > ts {
+			if x.Txn.SetAbort(txn.CauseWound) && m.cfg.OnWound != nil {
+				m.cfg.OnWound()
+			}
+		}
+	}
+	for x := e.retired.head; x != nil; x = x.next {
+		wound(x)
+	}
+	for x := e.owners.head; x != nil; x = x.next {
+		wound(x)
+	}
+}
+
+// upgradeBlockedLocked reports whether the upgrade must keep waiting:
+// any other owner (exclusive conflicts with everything), or a retiree
+// that is younger than r or doomed. Older live retirees do not block —
+// the completed upgrade commit-orders behind them instead. A younger
+// retiree past its commit point cannot be wounded and simply drains;
+// completing after it has left is safe because its read preceded r's
+// install, so it serializes before r and no later arrival can observe
+// the two in conflicting order.
+func upgradeBlockedLocked(e *Entry, r *Request) bool {
+	for x := e.owners.head; x != nil; x = x.next {
+		if x != r {
+			return true
+		}
+	}
+	ts := r.Txn.TS()
+	for x := e.retired.head; x != nil; x = x.next {
+		if x == r {
+			continue
+		}
+		if x.Txn.TS() > ts || x.unwound || x.Txn.Aborting() {
+			return true
+		}
+	}
+	return false
+}
+
+// completeUpgradeLocked performs the in-place promotion once the entry
+// has quiesced around r: relink out of retired if the shared grant was
+// positioned there, switch the mode, and take a private mutable copy of
+// the image the request was reading (the installed image itself stays
+// referenced by concurrent committed readers and must not be mutated).
+func (m *Manager) completeUpgradeLocked(e *Entry, r *Request) {
+	if r.stateLoad() == reqRetired {
+		// A retired *read* installed nothing, so un-retiring it is pure
+		// list surgery; the semHeld increment it may carry (dirty
+		// positioned read) remains valid — its source is among the older
+		// retirees the write must now also commit-order behind.
+		e.retired.remove(r)
+		e.owners.pushBack(r)
+		r.state.Store(int32(reqOwner))
+	}
+	r.Mode = EX
+	r.Data = bytes.Clone(r.Data)
+	if m.cfg.Variant == Bamboo && !r.semHeld && e.retired.len() > 0 {
+		// Every remaining retiree is older and live (upgradeBlockedLocked),
+		// conflicts with the now-exclusive hold, and must commit first.
+		r.semHeld = true
+		r.Txn.SemIncr()
+	}
+}
+
+// assignOnUpgradeLocked is Algorithm 3's conflict-time assignment for the
+// upgrade path: the promotion to exclusive is a conflict with every other
+// request on the entry, so if any exists, all parties (r's transaction
+// included) receive timestamps.
+func (m *Manager) assignOnUpgradeLocked(t *txn.Txn, e *Entry, r *Request) {
+	other := false
+	for _, l := range []*reqList{&e.retired, &e.owners, &e.waiters} {
+		for x := l.head; x != nil; x = x.next {
+			if x != r {
+				other = true
+				break
+			}
+		}
+		if other {
+			break
+		}
+	}
+	if !other {
+		return
+	}
+	for _, l := range []*reqList{&e.retired, &e.owners, &e.waiters} {
+		for x := l.head; x != nil; x = x.next {
+			x.Txn.AssignTSIfUnassigned(&m.tsCounter)
+		}
+	}
+	t.AssignTSIfUnassigned(&m.tsCounter)
 }
 
 // Retire moves t's exclusive lock from owners to retired (LockRetire in
@@ -337,6 +575,11 @@ func (m *Manager) woundLocked(t *txn.Txn, mode Mode, e *Entry) {
 // bypassed by reading the pre-image at the reader's position.
 func (m *Manager) olderConflicting(e *Entry, t *txn.Txn, mode Mode) bool {
 	ts := t.TS()
+	// A pending upgrade is an exclusive request at its holder's timestamp
+	// even though the holder's mode still reads SH.
+	if u := e.upgrading; u != nil && u.Txn != t && u.Txn.TS() < ts {
+		return true
+	}
 	for r := e.owners.head; r != nil; r = r.next {
 		if Conflict(mode, r.Mode) && r.Txn.TS() < ts {
 			return true
@@ -385,6 +628,13 @@ func (m *Manager) promoteWaiters(e *Entry) {
 			continue
 		}
 		if conflictsWithOwners(e, w.Mode) {
+			return
+		}
+		// A pending upgrade blocks every younger waiter: granting one
+		// would only feed the upgrade's wound loop (Wound-Wait/Bamboo) or
+		// extend its drain wait (Wait-Die). Older waiters pass — the
+		// upgrader waits for them (or was wounded by them) instead.
+		if u := e.upgrading; u != nil && u.Txn != w.Txn && w.Txn.TS() > u.Txn.TS() {
 			return
 		}
 		// A non-positioned grant reads the entry's newest image, so it

@@ -161,6 +161,155 @@ func TestPooledReuseStress(t *testing.T) {
 	}
 }
 
+// TestUpgradePooledReuseStress mixes SH→EX upgrades into the pooled-
+// request hammer: every transaction touches several hot entries, reads
+// them, upgrades a random subset in place, and retires the upgraded
+// writes — under wounds, cascades and freelist recycling. This is the
+// nastiest interaction surface of the upgrade path: an upgrade relinks a
+// request between intrusive lists while wound scans and cascade scans
+// walk them, and the quiescence rule must still hold when the recycled
+// request spent part of its life in each list under each mode.
+//
+// Correctness oracle: per-entry counters must equal the committed
+// increments (upgrades that lose updates or double-apply break it), the
+// generation snapshots must be stable (reuse-after-release), and the
+// entries must drain.
+func TestUpgradePooledReuseStress(t *testing.T) {
+	variants := []struct {
+		name string
+		cfg  Config
+	}{
+		{"bamboo-full", Config{Variant: Bamboo, RetireReads: true, NoWoundRead: true}},
+		{"bamboo-dynts", Config{Variant: Bamboo, RetireReads: true, NoWoundRead: true, DynamicTS: true}},
+		{"bamboo-plain", Config{Variant: Bamboo}},
+		{"woundwait", Config{Variant: WoundWait}},
+		{"waitdie", Config{Variant: WaitDie}},
+	}
+	for _, v := range variants {
+		v := v
+		t.Run(v.name, func(t *testing.T) {
+			t.Parallel()
+			m := NewManager(v.cfg)
+			const nEntries = 3
+			entries := make([]*Entry, nEntries)
+			for i := range entries {
+				entries[i] = &Entry{}
+				entries[i].Init(make([]byte, 8))
+			}
+
+			const workers = 8
+			perWorker := 300
+			if testing.Short() {
+				perWorker = 120
+			}
+			var committedWrites [workers]uint64
+			var wg sync.WaitGroup
+			retire := v.cfg.Variant == Bamboo
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					var pool Pool
+					alloc := m.NewTSAlloc(w)
+					rng := rand.New(rand.NewSource(int64(w)*881 + 3))
+					tx := txn.New(0)
+					tx.SetTSAlloc(alloc)
+					reqs := make([]*Request, 0, nEntries)
+					gens := make([]uint64, 0, nEntries)
+					for i := 0; i < perWorker; i++ {
+						tx.Renew(uint64(w*perWorker+i) + 1)
+						n := 1 + rng.Intn(nEntries)
+						for {
+							if !v.cfg.DynamicTS && !tx.HasTS() {
+								m.AssignTS(tx)
+							}
+							reqs, gens = reqs[:0], gens[:0]
+							aborted := false
+							writes := uint64(0)
+							for ei := 0; ei < n && !aborted; ei++ {
+								r := pool.Get()
+								gens = append(gens, r.Gen())
+								if err := m.AcquireInto(r, tx, SH, entries[ei]); err != nil {
+									if r.Gen() != gens[len(gens)-1] {
+										t.Errorf("request recycled while held (gen %d -> %d)", gens[len(gens)-1], r.Gen())
+									}
+									pool.Put(r)
+									gens = gens[:len(gens)-1]
+									aborted = true
+									break
+								}
+								reqs = append(reqs, r)
+								seen := binary.LittleEndian.Uint64(r.Data)
+								if rng.Intn(2) == 0 { // read-modify-write: upgrade in place
+									if err := m.Upgrade(r); err != nil {
+										aborted = true
+										break
+									}
+									binary.LittleEndian.PutUint64(r.Data, seen+1)
+									writes++
+									if retire && rng.Intn(2) == 0 {
+										m.Retire(r)
+									}
+								}
+							}
+							commit := false
+							if !aborted {
+								ok := true
+								for it := 0; ; it++ {
+									if tx.Aborting() {
+										ok = false
+										break
+									}
+									if tx.Sem() == 0 {
+										break
+									}
+									Backoff(it)
+								}
+								commit = ok && tx.BeginCommit()
+							}
+							for ri, r := range reqs {
+								m.Release(r, !commit)
+								if r.Gen() != gens[ri] {
+									t.Errorf("request recycled while held (gen %d -> %d)", gens[ri], r.Gen())
+								}
+								pool.Put(r)
+							}
+							if commit {
+								tx.FinishCommit()
+								committedWrites[w] += writes
+								break
+							}
+							tx.FinishAbort()
+							tx.Reset()
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+
+			var want, got uint64
+			for _, c := range committedWrites {
+				want += c
+			}
+			for _, e := range entries {
+				got += binary.LittleEndian.Uint64(e.CurrentData())
+				if ret, own, wait := e.Snapshot(); ret+own+wait != 0 {
+					t.Fatalf("entry not drained: %d/%d/%d\n%s", ret, own, wait, e.DebugString())
+				}
+				if err := e.CheckInvariants(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if got != want {
+				t.Fatalf("summed counters = %d, committed increments = %d (lost/phantom updates through upgrades)", got, want)
+			}
+			if want == 0 {
+				t.Fatal("no committed upgraded writes observed")
+			}
+		})
+	}
+}
+
 // TestCounterStress drives concurrent read-modify-write increments of a
 // single hot entry through the full wound/retire/cascade machinery and
 // checks that the committed count equals the final value — a lock-level

@@ -228,3 +228,38 @@ func itoa(v int64) string {
 }
 
 func newCollector() *stats.Collector { return &stats.Collector{} }
+
+// TestReadThenWriteUpgradesInPlace covers the IR shape the executor used
+// to hard-reject: a program that reads a tuple and later writes the same
+// tuple. The write access now upgrades the SH lock in place and the
+// synthesized retire point still applies to the upgraded lock.
+func TestReadThenWriteUpgradesInPlace(t *testing.T) {
+	db := manualDB()
+	tbl := buildTable(db, "rmw", 8)
+
+	prog := &retire.Program{Stmts: []retire.Stmt{
+		&retire.Access{Name: "rd", Table: tbl, Key: retire.Var("k"), Write: false},
+		&retire.Access{Name: "wr", Table: tbl, Key: retire.Var("k"), Write: true, Mutate: incr(tbl)},
+	}}
+	plan := retire.Analyze(prog)
+	// The write is the table's last access: it retires unconditionally.
+	if rule := plan.Rule("wr"); rule != "always" {
+		t.Fatalf("wr rule = %q, want always", rule)
+	}
+	in := retire.NewInterpreter(prog, plan)
+
+	e := core.NewLockEngine(db)
+	sess := e.NewSession(0, newCollector())
+	for k := int64(0); k < 4; k++ {
+		if err := sess.Run(func(tx core.Tx) error {
+			return in.Run(tx, map[string]int64{"k": k})
+		}); err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+	}
+	for k := int64(0); k < 4; k++ {
+		if got := tbl.Schema.GetInt64(tbl.Get(uint64(k)).Entry.CurrentData(), 0); got != 1 {
+			t.Fatalf("row %d = %d, want 1", k, got)
+		}
+	}
+}

@@ -33,7 +33,11 @@ type Options struct {
 	PerWorker  int
 	OpsPerTxn  int
 	WriteRatio float64 // probability an op is an update
-	Seed       int64
+	// RMWRatio is the probability an update is performed un-annotated —
+	// a Read of the row followed by an Update, driving the executor's
+	// SH→EX upgrade path instead of a declared exclusive acquisition.
+	RMWRatio float64
+	Seed     int64
 }
 
 // DefaultOptions is a contentious configuration that exercises dirty
@@ -139,8 +143,10 @@ func RunSerializability(t *testing.T, e core.Engine, opts Options) {
 		rng := rand.New(rand.NewSource(opts.Seed + int64(worker)*1e6 + int64(seq)))
 		keys := pickDistinct(rng, opts.Rows, opts.OpsPerTxn)
 		writes := make([]bool, len(keys))
+		rmw := make([]bool, len(keys))
 		for i := range keys {
 			writes[i] = rng.Float64() < opts.WriteRatio
+			rmw[i] = writes[i] && rng.Float64() < opts.RMWRatio
 		}
 		return func(tx core.Tx) error {
 			tx.DeclareOps(len(keys))
@@ -148,6 +154,13 @@ func RunSerializability(t *testing.T, e core.Engine, opts Options) {
 			for i, k := range keys {
 				row := tbl.Get(uint64(k))
 				if writes[i] {
+					if rmw[i] {
+						// Un-annotated read-modify-write: the Update below
+						// upgrades the shared lock in place.
+						if _, err := tx.Read(row); err != nil {
+							return err
+						}
+					}
 					err := tx.Update(row, func(img []byte) {
 						schema.SetInt64(img, stampCol, int64(stamp))
 						schema.AddInt64(img, valCol, 1)

@@ -219,6 +219,19 @@ type Config struct {
 	RemoteStockPct int
 	// ModifiedNewOrder makes NewOrder also read W_YTD (§5.6, Figure 11c).
 	ModifiedNewOrder bool
+	// StockLevelFraction adds the spec's read-only StockLevel transaction
+	// to the mix (taken from the NewOrder share). StockLevel reads the
+	// district's next order id and scans the stock rows of the last 20
+	// orders' lines — shared locks on exactly the rows NewOrder updates,
+	// so it contends with (and under Unannotated mode, with the upgrades
+	// of) the write path.
+	StockLevelFraction float64
+	// Unannotated runs the transaction bodies without read/write
+	// pre-declaration: every update first Reads the row and then Updates
+	// it, so the executor upgrades SH→EX in place (interactive clients
+	// that do not declare their write sets up front). Access declarations
+	// (DeclareOps) are also withheld.
+	Unannotated bool
 	// Seed seeds the loader and generators.
 	Seed int64
 }

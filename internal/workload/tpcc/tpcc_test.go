@@ -3,12 +3,16 @@ package tpcc_test
 import (
 	"math/rand"
 	"testing"
+	"time"
 
 	"bamboo/internal/chop"
 	"bamboo/internal/core"
 	"bamboo/internal/occ"
+	"bamboo/internal/stats"
 	"bamboo/internal/workload/tpcc"
 )
+
+func newCollector() *stats.Collector { return &stats.Collector{} }
 
 func testConfig(warehouses int) tpcc.Config {
 	cfg := tpcc.DefaultConfig()
@@ -179,5 +183,60 @@ func TestTPCCConsistencyIC3(t *testing.T) {
 				t.Fatal(err)
 			}
 		})
+	}
+}
+
+// TestTPCCUnannotatedWithStockLevel runs the full mix without RW
+// pre-declaration — every update is a read-then-update that the executor
+// upgrades in place — plus the read-only StockLevel transaction scanning
+// the very district and stock rows NewOrder upgrades. The spec's
+// consistency conditions must survive.
+func TestTPCCUnannotatedWithStockLevel(t *testing.T) {
+	configs := map[string]core.Config{
+		"BAMBOO":      core.Bamboo(),
+		"BAMBOO-base": core.BambooBase(),
+		"WOUND_WAIT":  core.WoundWait(),
+		"WAIT_DIE":    core.WaitDie(),
+		"NO_WAIT":     core.NoWait(),
+	}
+	for name, cc := range configs {
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			cc.AbortBackoffMax = 200 * time.Microsecond
+			db := core.NewDB(cc)
+			cfg := testConfig(1)
+			cfg.Unannotated = true
+			cfg.StockLevelFraction = 0.2
+			w, err := tpcc.Load(db, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			runMix(t, core.NewLockEngine(db), w, 8, 100)
+		})
+	}
+}
+
+// TestTPCCStockLevelReadsOrders inserts order history through committed
+// NewOrders and checks a StockLevel run observes it without error.
+func TestTPCCStockLevelReadsOrders(t *testing.T) {
+	db := core.NewDB(core.Bamboo())
+	cfg := testConfig(1)
+	cfg.PaymentFraction = 0 // only NewOrder, to build order history
+	cfg.UserAbortPct = 0
+	w, err := tpcc.Load(db, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := core.NewLockEngine(db)
+	res := core.RunN(e, 2, 30, w.Generator())
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	sess := e.NewSession(0, newCollector())
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 20; i++ {
+		if err := sess.Run(w.StockLevel(w.GenStockLevel(rng))); err != nil {
+			t.Fatalf("stock-level run %d: %v", i, err)
+		}
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"bamboo/internal/core"
+	"bamboo/internal/storage"
 )
 
 // PaymentArgs are the inputs of one Payment transaction.
@@ -100,16 +101,36 @@ func (w *Workload) GenNewOrder(rng *rand.Rand) NewOrderArgs {
 // Payment's per-step helpers are shared by the row-engine transaction
 // body and the IC3 piece bodies.
 
+// update is tx.Update, or — in Unannotated mode — a Read of the row
+// followed by the Update, driving the executor's SH→EX upgrade path the
+// way a client that does not pre-declare its write set would.
+func (w *Workload) update(tx core.Tx, row *storage.Row, mutate func(img []byte)) error {
+	if w.cfg.Unannotated {
+		if _, err := tx.Read(row); err != nil {
+			return err
+		}
+	}
+	return tx.Update(row, mutate)
+}
+
+// declare forwards the access declaration unless the workload runs
+// un-annotated (no pre-declared access information at all).
+func (w *Workload) declare(tx core.Tx, n int) {
+	if !w.cfg.Unannotated {
+		tx.DeclareOps(n)
+	}
+}
+
 // PayWarehouse adds the payment amount to W_YTD.
 func (w *Workload) PayWarehouse(tx core.Tx, a *PaymentArgs) error {
-	return tx.Update(w.Warehouse.Get(uint64(a.WID)), func(img []byte) {
+	return w.update(tx, w.Warehouse.Get(uint64(a.WID)), func(img []byte) {
 		w.Warehouse.Schema.AddInt64(img, w.wc.YTD, a.Amount)
 	})
 }
 
 // PayDistrict adds the payment amount to D_YTD.
 func (w *Workload) PayDistrict(tx core.Tx, a *PaymentArgs) error {
-	return tx.Update(w.District.Get(districtKey(a.WID, a.DID)), func(img []byte) {
+	return w.update(tx, w.District.Get(districtKey(a.WID, a.DID)), func(img []byte) {
 		w.District.Schema.AddInt64(img, w.dc.YTD, a.Amount)
 	})
 }
@@ -132,7 +153,7 @@ func (w *Workload) resolveCustomer(a *PaymentArgs) int64 {
 func (w *Workload) PayCustomer(tx core.Tx, a *PaymentArgs) error {
 	cid := w.resolveCustomer(a)
 	cs := w.Customer.Schema
-	return tx.Update(w.Customer.Get(customerKey(a.CWID, a.CDID, cid)), func(img []byte) {
+	return w.update(tx, w.Customer.Get(customerKey(a.CWID, a.CDID, cid)), func(img []byte) {
 		cs.AddInt64(img, w.cc.Balance, -a.Amount)
 		cs.AddInt64(img, w.cc.YTDPayment, a.Amount)
 		cs.AddInt64(img, w.cc.PaymentCnt, 1)
@@ -164,7 +185,7 @@ func (w *Workload) PayHistory(tx core.Tx, a *PaymentArgs) error {
 // the best case for Bamboo's early retiring.
 func (w *Workload) Payment(a PaymentArgs) core.TxnFunc {
 	return func(tx core.Tx) error {
-		tx.DeclareOps(3)
+		w.declare(tx, 3)
 		if err := w.PayWarehouse(tx, &a); err != nil {
 			return err
 		}
@@ -202,10 +223,12 @@ func (w *Workload) NOWarehouse(tx core.Tx, st *NewOrderState) error {
 	return nil
 }
 
-// NODistrict draws the order id from D_NEXT_O_ID.
+// NODistrict draws the order id from D_NEXT_O_ID — the canonical
+// read-modify-write: un-annotated it reads the district row first and
+// upgrades the lock for the increment.
 func (w *Workload) NODistrict(tx core.Tx, st *NewOrderState) error {
 	ds := w.District.Schema
-	return tx.Update(w.District.Get(districtKey(st.Args.WID, st.Args.DID)), func(img []byte) {
+	return w.update(tx, w.District.Get(districtKey(st.Args.WID, st.Args.DID)), func(img []byte) {
 		st.OID = ds.GetInt64(img, w.dc.NextOID)
 		ds.SetInt64(img, w.dc.NextOID, st.OID+1)
 		st.DTax = ds.GetInt64(img, w.dc.Tax)
@@ -235,7 +258,7 @@ func (w *Workload) NOItems(tx core.Tx, st *NewOrderState) error {
 		price := is.GetInt64(iImg, w.ic.Price)
 
 		ss := w.Stock.Schema
-		err = tx.Update(w.Stock.Get(stockKey(it.SupplyW, it.IID)), func(img []byte) {
+		err = w.update(tx, w.Stock.Get(stockKey(it.SupplyW, it.IID)), func(img []byte) {
 			q := ss.GetInt64(img, w.sc.Quantity)
 			if q >= it.Quantity+10 {
 				q -= it.Quantity
@@ -301,7 +324,7 @@ func (w *Workload) NewOrder(a NewOrderArgs) core.TxnFunc {
 	return func(tx core.Tx) error {
 		// warehouse read + district update + customer read + per-item
 		// (item read + stock update).
-		tx.DeclareOps(3 + 2*len(a.Items))
+		w.declare(tx, 3+2*len(a.Items))
 		st := &NewOrderState{Args: a}
 		for _, step := range []func(core.Tx, *NewOrderState) error{
 			w.NOWarehouse, w.NODistrict, w.NOCustomer, w.NOItems, w.NOInsertOrder,
@@ -314,7 +337,89 @@ func (w *Workload) NewOrder(a NewOrderArgs) core.TxnFunc {
 	}
 }
 
-// Generator returns the 50/50 NewOrder/Payment mix as a core.Generator.
+// StockLevelArgs are the inputs of one StockLevel transaction.
+type StockLevelArgs struct {
+	WID, DID  int64
+	Threshold int64
+}
+
+// GenStockLevel draws StockLevel arguments per the TPC-C spec (threshold
+// uniform in [10, 20]).
+func (w *Workload) GenStockLevel(rng *rand.Rand) StockLevelArgs {
+	return StockLevelArgs{
+		WID:       int64(rng.Intn(w.cfg.Warehouses)),
+		DID:       int64(rng.Intn(distPerWarehouse)),
+		Threshold: int64(rng.Intn(11) + 10),
+	}
+}
+
+// stockLevelOrders is the number of most recent orders StockLevel
+// examines (spec §2.8.2.1: 20).
+const stockLevelOrders = 20
+
+// StockLevel returns the transaction body for args: read D_NEXT_O_ID,
+// walk the order lines of the district's last 20 orders, and count the
+// distinct items whose stock quantity is below the threshold. The
+// transaction is read-only and naturally un-annotated — it shares the
+// district row and the stock rows with NewOrder's write (and, in
+// Unannotated mode, upgrade) path, which is what makes it the paper-era
+// contended read-modify-write benchmark shape.
+//
+// Orders below the initial D_NEXT_O_ID (the loader populates no order
+// history) and order lines trimmed at reduced scale are skipped.
+func (w *Workload) StockLevel(a StockLevelArgs) core.TxnFunc {
+	return func(tx core.Tx) error {
+		dImg, err := tx.Read(w.District.Get(districtKey(a.WID, a.DID)))
+		if err != nil {
+			return err
+		}
+		nextOID := w.District.Schema.GetInt64(dImg, w.dc.NextOID)
+
+		seen := make(map[int64]bool, 32)
+		low := 0
+		os, ols, ss := w.Orders.Schema, w.OrderLine.Schema, w.Stock.Schema
+		for oid := nextOID - stockLevelOrders; oid < nextOID; oid++ {
+			oRow := w.Orders.Get(orderKey(a.WID, a.DID, oid))
+			if oRow == nil {
+				continue // pre-load history does not exist
+			}
+			oImg, err := tx.Read(oRow)
+			if err != nil {
+				return err
+			}
+			olCnt := os.GetInt64(oImg, w.oc.OLCnt)
+			for n := int64(0); n < olCnt; n++ {
+				olRow := w.OrderLine.Get(orderLineKey(a.WID, a.DID, oid, n))
+				if olRow == nil {
+					continue
+				}
+				olImg, err := tx.Read(olRow)
+				if err != nil {
+					return err
+				}
+				iid := ols.GetInt64(olImg, w.olc.IID)
+				supplyW := ols.GetInt64(olImg, w.olc.SupplyWID)
+				if seen[iid] {
+					continue
+				}
+				seen[iid] = true
+				sImg, err := tx.Read(w.Stock.Get(stockKey(supplyW, iid)))
+				if err != nil {
+					return err
+				}
+				if ss.GetInt64(sImg, w.sc.Quantity) < a.Threshold {
+					low++
+				}
+			}
+		}
+		_ = low // the count is the client's result; nothing to persist
+		return nil
+	}
+}
+
+// Generator returns the transaction mix as a core.Generator: Payment
+// with PaymentFraction, StockLevel with StockLevelFraction, NewOrder
+// with the remainder.
 func (w *Workload) Generator() core.Generator {
 	var mu sync.Mutex
 	rngs := map[int]*rand.Rand{}
@@ -326,8 +431,12 @@ func (w *Workload) Generator() core.Generator {
 			rngs[worker] = rng
 		}
 		mu.Unlock()
-		if rng.Float64() < w.cfg.PaymentFraction {
+		draw := rng.Float64()
+		if draw < w.cfg.PaymentFraction {
 			return w.Payment(w.GenPayment(rng))
+		}
+		if draw < w.cfg.PaymentFraction+w.cfg.StockLevelFraction {
+			return w.StockLevel(w.GenStockLevel(rng))
 		}
 		return w.NewOrder(w.GenNewOrder(rng))
 	}

@@ -39,6 +39,13 @@ type Config struct {
 	// (Figure 7 uses 1000).
 	LongReadFrac float64
 	LongReadOps  int
+	// RMWFrac is the fraction of update accesses issued un-annotated: the
+	// transaction Reads the row first and Updates it afterwards, so the
+	// executor must upgrade the shared lock to exclusive in place instead
+	// of knowing the write intent up front (the TXSQL-style contended
+	// read-modify-write hotspot shape). 0 keeps the classic pre-declared
+	// YCSB updates.
+	RMWFrac float64
 	// Seed seeds the generators.
 	Seed int64
 }
@@ -96,6 +103,9 @@ func (w *Workload) Table() *storage.Table { return w.tbl }
 type op struct {
 	key   uint64
 	write bool
+	// rmw marks an un-annotated read-modify-write: read first, then
+	// update the same row through an SH→EX upgrade.
+	rmw bool
 }
 
 // planTxn draws a transaction's access plan: distinct keys (DBx1000
@@ -112,7 +122,12 @@ func (w *Workload) planTxn(z *zipfian.Zipfian, rng *rand.Rand) []op {
 			continue
 		}
 		used[k] = true
-		ops = append(ops, op{key: k, write: rng.Float64() >= w.cfg.ReadRatio})
+		write := rng.Float64() >= w.cfg.ReadRatio
+		ops = append(ops, op{
+			key:   k,
+			write: write,
+			rmw:   write && rng.Float64() < w.cfg.RMWFrac,
+		})
 	}
 	return ops
 }
@@ -142,6 +157,13 @@ func (w *Workload) NewGenerator(worker int) func(seq int) core.TxnFunc {
 			for _, o := range ops {
 				row := w.tbl.Get(o.key)
 				if o.write {
+					if o.rmw {
+						// Un-annotated read-modify-write: the Update below
+						// upgrades the shared lock in place.
+						if _, err := tx.Read(row); err != nil {
+							return err
+						}
+					}
 					err := tx.Update(row, func(img []byte) {
 						w.schema.AddInt64(img, w.stampCol, 1)
 					})

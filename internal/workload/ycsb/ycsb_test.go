@@ -2,6 +2,7 @@ package ycsb_test
 
 import (
 	"testing"
+	"time"
 
 	"bamboo/internal/core"
 	"bamboo/internal/workload/ycsb"
@@ -73,5 +74,40 @@ func TestYCSBSkewHitsHotSet(t *testing.T) {
 	hot := tbl.Schema.GetInt64(tbl.Get(0).Entry.CurrentData(), 0)
 	if hot < 20 {
 		t.Fatalf("hottest key got only %d writes under theta=0.9", hot)
+	}
+}
+
+func TestYCSBRMWMixRunsUnannotated(t *testing.T) {
+	// Every update is issued read-then-update: the whole write load goes
+	// through the executor's SH→EX upgrade path, under contention (theta
+	// 0.9), and write conservation must still hold.
+	for name, cc := range map[string]core.Config{
+		"BAMBOO":     core.Bamboo(),
+		"WOUND_WAIT": core.WoundWait(),
+		"NO_WAIT":    core.NoWait(),
+	} {
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			cc.AbortBackoffMax = 200 * time.Microsecond // damp no-wait upgrade storms
+			db := core.NewDB(cc)
+			cfg := smallConfig()
+			cfg.Theta = 0.9
+			cfg.RMWFrac = 1.0
+			w, err := ycsb.Load(db, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res := core.RunN(core.NewLockEngine(db), 4, 60, w.Generator())
+			if res.Err != nil {
+				t.Fatal(res.Err)
+			}
+			if res.Report.Commits != 4*60 {
+				t.Fatalf("commits = %d, want %d", res.Report.Commits, 4*60)
+			}
+			total := w.TotalWrites()
+			if total <= 0 || total > int64(4*60*16) {
+				t.Fatalf("total writes = %d out of range", total)
+			}
+		})
 	}
 }
