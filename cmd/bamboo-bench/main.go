@@ -45,6 +45,7 @@ func main() {
 		txns     = flag.Int("txns", 2000, "transactions per worker per point when -duration=0")
 		rows     = flag.Int("rows", 100000, "table rows for synthetic/YCSB workloads")
 		rtt      = flag.Duration("rtt", 100*time.Microsecond, "interactive-mode round trip per operation")
+		parts    = flag.Int("partitions", 0, "storage partition count for every point's tables (0/1 = flat single-partition layout; survives -quick)")
 		quick    = flag.Bool("quick", false, "use the small CI smoke scale (overrides -threads/-duration/-txns/-rows/-rtt)")
 		jsonOut  = flag.Bool("json", false, "emit the schema-versioned JSON result document")
 		csvOut   = flag.Bool("csv", false, "emit results as one flat CSV table")
@@ -70,6 +71,11 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *parts < 0 {
+		fmt.Fprintf(os.Stderr, "bad -partitions value %d\n", *parts)
+		os.Exit(2)
+	}
+
 	var s bench.Scale
 	if *quick {
 		s = bench.Quick()
@@ -92,6 +98,9 @@ func main() {
 			}
 		}
 	}
+	// -partitions composes with -quick: the CI routing-path smoke run is
+	// "quick scale, 2 partitions".
+	s.Partitions = *parts
 
 	var run []bench.Experiment
 	if *exp == "all" {
@@ -99,7 +108,13 @@ func main() {
 	} else {
 		e := bench.Find(*exp)
 		if e == nil {
-			fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *exp)
+			// List the valid ids right here: a typo'd -exp in a CI script
+			// must fail loudly with the fix on screen, not no-op.
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; valid experiments:\n", *exp)
+			for _, e := range bench.All() {
+				fmt.Fprintf(os.Stderr, "  %-10s %s\n", e.ID, e.Title)
+			}
+			fmt.Fprintln(os.Stderr, "  all        run every experiment")
 			os.Exit(2)
 		}
 		run = []bench.Experiment{*e}

@@ -83,6 +83,47 @@ func TestQuickSmoke(t *testing.T) {
 	}
 }
 
+// TestPartitionSweepSmoke runs the partition experiment at micro scale
+// and checks the partition-specific telemetry flows end to end: every
+// point carries a load time, the partitioned points carry per-partition
+// access counts matching their partition count (the flat partitions=1
+// point carries none — telemetry is off on the baseline-comparable
+// layout), and the hash partitioner keeps the skew bounded even under
+// theta=0.9 (hot Zipfian keys scatter across partitions).
+func TestPartitionSweepSmoke(t *testing.T) {
+	s := tiny()
+	s.TxnsPerWorker = 30
+	rows := bench.PartitionSweep(s)
+	if len(rows) == 0 {
+		t.Fatal("no rows produced")
+	}
+	byParts := map[string]int{
+		"partitions=1 threads=4": 0,
+		"partitions=2 threads=4": 2,
+		"partitions=4 threads=4": 4,
+		"partitions=8 threads=4": 8,
+	}
+	for _, r := range rows {
+		if r.Report.Commits == 0 {
+			t.Errorf("%s at %s committed nothing", r.Protocol, r.X)
+		}
+		if r.Report.LoadTime <= 0 {
+			t.Errorf("%s at %s has no load time", r.Protocol, r.X)
+		}
+		want, ok := byParts[r.X]
+		if !ok {
+			t.Errorf("unexpected x value %q", r.X)
+			continue
+		}
+		if got := len(r.Report.PartitionAccesses); got != want {
+			t.Errorf("%s at %s: %d partition counters, want %d", r.Protocol, r.X, got, want)
+		}
+		if want > 1 && r.Report.PartitionSkew > float64(want)/2+1 {
+			t.Errorf("%s at %s: partition skew %.2f implausibly high", r.Protocol, r.X, r.Report.PartitionSkew)
+		}
+	}
+}
+
 // TestBambooBeatsWoundWaitOnHotspot asserts the paper's core claim at
 // smoke scale, on the setup where the winner is decided by the protocol
 // rather than by scheduler luck: the interactive single-hotspot ladder

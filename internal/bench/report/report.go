@@ -50,6 +50,10 @@ type Scale struct {
 	DurationNS    int64 `json:"duration_ns"`
 	Rows          int   `json:"rows"`
 	RTTNS         int64 `json:"rtt_ns"`
+	// Partitions is the storage partition count (0/absent = 1, the flat
+	// pre-partitioning layout). Additive since the field's introduction,
+	// so schema-version-1 documents without it stay parseable.
+	Partitions int `json:"partitions,omitempty"`
 }
 
 // Experiment is one runner's full series.
@@ -80,6 +84,17 @@ type Point struct {
 	Cascades uint64  `json:"cascades,omitempty"`
 	AvgChain float64 `json:"avg_chain,omitempty"`
 	MaxChain uint64  `json:"max_chain,omitempty"`
+
+	// LoadNS is the workload load wall time for the point's fresh DB —
+	// the number the partition sweep's parallel-loader claim is gated on.
+	// PartitionAccesses/Conflicts and PartitionSkew (hottest partition's
+	// share relative to balanced, 1.0 = balanced) carry the per-partition
+	// telemetry. All additive + omitempty: absent in pre-partitioning
+	// schema-version-1 documents, which remain comparable.
+	LoadNS             int64    `json:"load_ns,omitempty"`
+	PartitionAccesses  []uint64 `json:"partition_accesses,omitempty"`
+	PartitionConflicts []uint64 `json:"partition_conflicts,omitempty"`
+	PartitionSkew      float64  `json:"partition_skew,omitempty"`
 
 	ElapsedNS int64 `json:"elapsed_ns"`
 }
@@ -162,10 +177,14 @@ func PointFrom(x string, r stats.Report) Point {
 			CommitWait: int64(r.PerTxnCommitWait),
 			Useful:     int64(r.PerTxnUseful),
 		},
-		Wounds:    r.Wounds,
-		Cascades:  r.Cascades,
-		AvgChain:  r.AvgChain,
-		MaxChain:  r.MaxChain,
-		ElapsedNS: int64(r.Elapsed),
+		Wounds:             r.Wounds,
+		Cascades:           r.Cascades,
+		AvgChain:           r.AvgChain,
+		MaxChain:           r.MaxChain,
+		LoadNS:             int64(r.LoadTime),
+		PartitionAccesses:  r.PartitionAccesses,
+		PartitionConflicts: r.PartitionConflicts,
+		PartitionSkew:      r.PartitionSkew,
+		ElapsedNS:          int64(r.Elapsed),
 	}
 }

@@ -66,6 +66,7 @@ var csvHeader = []string{
 	"lat_mean_ns", "lat_p50_ns", "lat_p90_ns", "lat_p95_ns", "lat_p99_ns", "lat_p999_ns", "lat_max_ns",
 	"lock_wait_ns", "abort_ns", "commit_wait_ns", "useful_ns",
 	"wounds", "cascades", "avg_chain", "max_chain",
+	"load_ns", "partition_skew",
 }
 
 // WriteCSV emits every point of every experiment as one flat table.
@@ -97,6 +98,8 @@ func WriteCSV(w io.Writer, f *File) error {
 				strconv.FormatUint(p.Cascades, 10),
 				strconv.FormatFloat(p.AvgChain, 'f', 2, 64),
 				strconv.FormatUint(p.MaxChain, 10),
+				strconv.FormatInt(p.LoadNS, 10),
+				strconv.FormatFloat(p.PartitionSkew, 'f', 3, 64),
 			}
 			if err := cw.Write(rec); err != nil {
 				return err

@@ -22,6 +22,8 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"math/rand"
+	"runtime"
 	"sync/atomic"
 	"time"
 
@@ -286,11 +288,38 @@ type Session struct {
 	e      *Engine
 	worker int
 	col    *stats.Collector
+	rng    *rand.Rand
 }
 
 // NewSession creates a session.
 func (e *Engine) NewSession(worker int, col *stats.Collector) *Session {
-	return &Session{e: e, worker: worker, col: col}
+	return &Session{e: e, worker: worker, col: col,
+		rng: rand.New(rand.NewSource(int64(worker)*6553 + 17))}
+}
+
+// retryBackoff sleeps a jittered, attempt-scaled amount before retrying
+// an aborted transaction. Retrying immediately can livelock on few-core
+// hosts: two transactions that cascade-abort (or timeout) each other
+// restart in lockstep and re-create the same conflict forever — the
+// jitter breaks the symmetry, and the escalation yields the CPU to
+// whichever transaction can actually finish. The cap is the same knob
+// the lock engine's retry path uses (core.Config.AbortBackoffMax,
+// DBx1000's ABORT_PENALTY); unlike there, an unset knob falls back to a
+// small default rather than no backoff, because for IC3 the jitter is a
+// liveness requirement, not a tuning option.
+func (s *Session) retryBackoff(attempt int) {
+	runtime.Gosched()
+	max := s.e.db.Config().AbortBackoffMax
+	if max <= 0 {
+		max = 200 * time.Microsecond
+	}
+	scale := attempt
+	if scale > 8 {
+		scale = 8
+	}
+	if d := max / 8 * time.Duration(scale); d > 0 {
+		time.Sleep(time.Duration(s.rng.Int63n(int64(d))))
+	}
 }
 
 // Tx is the running transaction state shared by its pieces.
@@ -387,6 +416,13 @@ func (tx *Tx) attach(row *storage.Row, piece *Piece, write bool) (*access, error
 	mine := &access{t: tx.t, owner: tx, mask: mask, write: write, row: row, rs: rs}
 
 	deadline := time.Now().Add(tx.e.WaitTimeout)
+	// One escalating backoff counter for the whole attach: resetting it
+	// per blocker keeps the loop in the busy-yield phase forever when
+	// blockers keep trading places, which on a 1-CPU host (worse under
+	// -race, which serializes goroutines further) can starve the very
+	// goroutine that would resolve the conflict. Carrying the counter
+	// across blockers escalates to real sleeps and lets it run.
+	spin := 0
 	rs.lock()
 	for {
 		if tx.t.Aborting() {
@@ -408,7 +444,7 @@ func (tx *Tx) attach(row *storage.Row, piece *Piece, write bool) (*access, error
 		}
 		rs.unlock()
 		waitStart := time.Now()
-		for i := 0; ; i++ {
+		for ; ; spin++ {
 			if tx.t.Aborting() {
 				tx.waited += time.Since(waitStart)
 				return nil, lock.ErrAborting
@@ -420,7 +456,7 @@ func (tx *Tx) attach(row *storage.Row, piece *Piece, write bool) (*access, error
 				tx.waited += time.Since(waitStart)
 				return nil, errTimeout
 			}
-			lock.Backoff(i)
+			lock.Backoff(spin)
 		}
 		tx.waited += time.Since(waitStart)
 		rs.lock()
@@ -547,10 +583,14 @@ func (tx *Tx) detach() {
 	}
 }
 
-// Run executes one logical chopped transaction, retrying protocol aborts.
+// Run executes one logical chopped transaction, retrying protocol aborts
+// with a jittered backoff between attempts.
 func (s *Session) Run(t *Template, env any) error {
 	id := s.e.db.NextTxnID()
-	for {
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			s.retryBackoff(attempt)
+		}
 		tt := txn.New(id)
 		tx := &Tx{e: s.e, t: tt, tmpl: t, env: env, workerID: s.worker}
 		start := time.Now()
@@ -632,13 +672,17 @@ func (tx *Tx) enforcePieceOrder(p *Piece) error {
 		return nil
 	}
 	deadline := time.Now().Add(tx.e.WaitTimeout)
+	// As in attach: one escalating counter across all dependencies, so a
+	// transaction polling several slow dependencies reaches the sleeping
+	// phase instead of busy-yielding against them round-robin.
+	spin := 0
 	for d := range tx.deps {
 		need, ok := p.lastConflict[d.tmpl]
 		if !ok || need < 0 {
 			continue
 		}
 		start := time.Now()
-		for i := 0; int(d.progress.Load()) <= need; i++ {
+		for ; int(d.progress.Load()) <= need; spin++ {
 			if s := d.t.State(); s == txn.StateCommitted || s == txn.StateAborted {
 				break
 			}
@@ -650,7 +694,7 @@ func (tx *Tx) enforcePieceOrder(p *Piece) error {
 				tx.waited += time.Since(start)
 				return errTimeout
 			}
-			lock.Backoff(i)
+			lock.Backoff(spin)
 		}
 		tx.waited += time.Since(start)
 	}

@@ -99,6 +99,24 @@ func TestAllocBudget(t *testing.T) {
 	}
 }
 
+// TestAllocBudgetPartitioned asserts partition routing adds zero
+// steady-state allocations: the same workload over a 4-partition hash-
+// partitioned table (routing on every access, per-partition counters fed
+// on every acquire) allocates exactly what the flat layout does.
+func TestAllocBudgetPartitioned(t *testing.T) {
+	flat := measureAllocsPerTxn(t, core.Bamboo())
+	cfg := core.Bamboo()
+	cfg.Partitions = 4
+	parted := measureAllocsPerTxn(t, cfg)
+	t.Logf("flat %.1f, 4-partition %.1f allocs/txn (budget %.0f)", flat, parted, allocBudget)
+	if parted > allocBudget {
+		t.Fatalf("partitioned allocs/txn = %.1f exceeds budget %.1f", parted, allocBudget)
+	}
+	if parted > flat+0.5 {
+		t.Fatalf("partition routing allocates: %.1f vs %.1f allocs/txn flat", parted, flat)
+	}
+}
+
 // TestAllocBudgetGroupCommit keeps the group-commit commit path inside
 // the same budget: batching must not reintroduce per-commit allocation.
 func TestAllocBudgetGroupCommit(t *testing.T) {

@@ -46,8 +46,18 @@ type Config struct {
 	// longer than Delta of its execution time). The paper uses 0.15.
 	Delta float64
 
+	// Partitions is the storage partition count workload loaders create
+	// their tables with (TPC-C ranges by warehouse, YCSB hashes by key)
+	// and the size of the per-partition access/conflict counters the
+	// executor feeds. 0 or 1 keeps the flat single-partition layout — the
+	// pre-partitioning behavior, bit for bit.
+	Partitions int
+
 	// AbortBackoffMax bounds the randomized retry backoff after an abort
-	// (DBx1000's ABORT_PENALTY). Zero disables backoff.
+	// (DBx1000's ABORT_PENALTY). Zero disables backoff on the lock-engine
+	// path; the IC3/chop executor instead falls back to a small default
+	// (see chop.Session.retryBackoff), where the jitter is a liveness
+	// requirement rather than a tuning option.
 	AbortBackoffMax time.Duration
 
 	// ManualRetire disables the executor's automatic write retiring;
@@ -126,6 +136,14 @@ func NewDB(cfg Config) *DB {
 		Global:  &stats.Global{},
 		cfg:     cfg,
 	}
+	// Partition telemetry only for actually-partitioned runs: with the
+	// flat layout every worker would hammer one shared counter cacheline
+	// per row access, perturbing exactly the single-partition baselines
+	// that must stay bit-for-bit comparable. RecordPartAccess no-ops on
+	// the empty slice.
+	if cfg.Partitions > 1 {
+		db.Global.InitPartitions(cfg.Partitions)
+	}
 	db.Lock = lock.NewManager(lock.Config{
 		Variant:     cfg.Variant,
 		RetireReads: cfg.Variant == lock.Bamboo && cfg.RetireReads,
@@ -148,6 +166,22 @@ func (db *DB) Close() error { return db.Log.Close() }
 
 // Config returns the DB's protocol configuration.
 func (db *DB) Config() Config { return db.cfg }
+
+// Partitions returns the configured storage partition count, normalized
+// to ≥ 1. Workload loaders create their tables with this many partitions.
+func (db *DB) Partitions() int {
+	if db.cfg.Partitions < 1 {
+		return 1
+	}
+	return db.cfg.Partitions
+}
+
+// PartitionOf returns the partition id tbl routes key to — the key→
+// partition routing hook a multi-node dispatcher would use to pick an
+// execution site.
+func (db *DB) PartitionOf(tbl *storage.Table, key uint64) int {
+	return tbl.PartitionFor(key)
+}
 
 // ProtocolName returns the display name used in reports, matching the
 // paper's legends.

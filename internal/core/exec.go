@@ -138,7 +138,9 @@ func (tx *lockTx) acquire(row *storage.Row, mode lock.Mode) (*lock.Request, erro
 	start := time.Now()
 	err := tx.db.Lock.AcquireInto(req, tx.t, mode, &row.Entry)
 	tx.lockWait += time.Since(start)
+	tx.db.Global.RecordPartAccess(row.PartitionID)
 	if err != nil {
+		tx.db.Global.RecordPartConflict(row.PartitionID)
 		tx.s.pool.Put(req)
 		return nil, err
 	}
@@ -180,6 +182,7 @@ func (tx *lockTx) Update(row *storage.Row, mutate func(img []byte)) error {
 			err := tx.db.Lock.Upgrade(a.req)
 			tx.lockWait += time.Since(start)
 			if err != nil {
+				tx.db.Global.RecordPartConflict(row.PartitionID)
 				return err
 			}
 			a.mode = lock.EX

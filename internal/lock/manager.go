@@ -243,6 +243,19 @@ func (m *Manager) Upgrade(r *Request) error {
 			e.latch.Unlock()
 			return ErrWound
 		}
+		// Fast path: the upgrader is the entry's only holder and nobody is
+		// queued — the common uncontended read-modify-write. Every variant
+		// agrees on the outcome (no conflict to abort on, wound, or wait
+		// for), DynamicTS would assign nothing (no other request exists),
+		// and the pending-upgrade slot never needs claiming because there
+		// is no grant race to fence off. Complete in place and return.
+		if e.waiters.head == nil && (e.upgrading == nil || e.upgrading == r) &&
+			!otherHolder(e, r) {
+			m.completeUpgradeLocked(e, r)
+			dropUpgradeLocked(e, r)
+			e.latch.Unlock()
+			return nil
+		}
 		if m.cfg.DynamicTS {
 			m.assignOnUpgradeLocked(t, e, r)
 		}

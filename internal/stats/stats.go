@@ -36,12 +36,73 @@ type Collector struct {
 
 // Global holds the counters that are recorded from inside the shared lock
 // manager — wounds, cascading-abort events and chain lengths — where no
-// per-worker collector is in scope. All operations are atomic.
+// per-worker collector is in scope, plus the per-partition access and
+// conflict counters the partition-aware executor feeds. All operations are
+// atomic.
 type Global struct {
 	Wounds   atomic.Uint64
 	Cascades atomic.Uint64
 	ChainSum atomic.Uint64
 	ChainMax atomic.Uint64
+
+	// parts is sized once at DB construction (InitPartitions) and never
+	// resized, so the hot-path Record calls are a bounds check and an
+	// atomic add — zero allocations.
+	parts []PartitionCounter
+}
+
+// PartitionCounter counts one partition's row accesses and conflicts. The
+// padding keeps neighbouring partitions' counters off one cacheline so
+// workers hitting disjoint partitions do not false-share.
+type PartitionCounter struct {
+	Accesses  atomic.Uint64
+	Conflicts atomic.Uint64
+	_         [48]byte
+}
+
+// InitPartitions sizes the per-partition counters; called once before any
+// Record. n < 1 leaves partition telemetry disabled.
+func (g *Global) InitPartitions(n int) {
+	if n > 0 {
+		g.parts = make([]PartitionCounter, n)
+	}
+}
+
+// RecordPartAccess counts one row access against partition pid.
+func (g *Global) RecordPartAccess(pid int) {
+	if pid >= 0 && pid < len(g.parts) {
+		g.parts[pid].Accesses.Add(1)
+	}
+}
+
+// RecordPartConflict counts one conflicted (aborted or upgrade-failed)
+// access against partition pid.
+func (g *Global) RecordPartConflict(pid int) {
+	if pid >= 0 && pid < len(g.parts) {
+		g.parts[pid].Conflicts.Add(1)
+	}
+}
+
+// PartitionAccesses returns a snapshot of per-partition access counts, or
+// nil when partition telemetry is disabled.
+func (g *Global) PartitionAccesses() []uint64 { return snapshotParts(g.parts, accessOf) }
+
+// PartitionConflicts returns a snapshot of per-partition conflict counts,
+// or nil when partition telemetry is disabled.
+func (g *Global) PartitionConflicts() []uint64 { return snapshotParts(g.parts, conflictOf) }
+
+func accessOf(c *PartitionCounter) uint64   { return c.Accesses.Load() }
+func conflictOf(c *PartitionCounter) uint64 { return c.Conflicts.Load() }
+
+func snapshotParts(parts []PartitionCounter, get func(*PartitionCounter) uint64) []uint64 {
+	if len(parts) == 0 {
+		return nil
+	}
+	out := make([]uint64, len(parts))
+	for i := range parts {
+		out[i] = get(&parts[i])
+	}
+	return out
 }
 
 // RecordWound counts one wounded transaction.
@@ -124,6 +185,18 @@ type Report struct {
 	AvgChain float64
 	MaxChain uint64
 
+	// Per-partition telemetry (partition-aware runs only): accesses and
+	// conflicts per partition id, and the access skew — the hottest
+	// partition's share of accesses relative to a perfectly balanced
+	// spread (1.0 = balanced, NumPartitions = everything on one).
+	PartitionAccesses  []uint64
+	PartitionConflicts []uint64
+	PartitionSkew      float64
+
+	// LoadTime is the workload load wall time; set by the bench harness
+	// (zero when not measured).
+	LoadTime time.Duration
+
 	// Commit-latency distribution (lock wait + execution + commit wait),
 	// from the merged worker histograms.
 	LatencyMean time.Duration
@@ -160,6 +233,9 @@ func Summarize(protocol string, elapsed time.Duration, workers []*Collector, g *
 		chainSum = g.ChainSum.Load()
 		r.Cascades = cascades
 		r.MaxChain = g.ChainMax.Load()
+		r.PartitionAccesses = g.PartitionAccesses()
+		r.PartitionConflicts = g.PartitionConflicts()
+		r.PartitionSkew = skewOf(r.PartitionAccesses)
 	}
 	for cause, n := range all.AbortsBy {
 		if n > 0 {
@@ -192,6 +268,27 @@ func Summarize(protocol string, elapsed time.Duration, workers []*Collector, g *
 		r.LatencyMax = all.Lat.Max()
 	}
 	return r
+}
+
+// skewOf returns max/mean of the access counts: 1.0 for a perfectly
+// balanced spread, NumPartitions when one partition takes every access, 0
+// when there is nothing to measure.
+func skewOf(accesses []uint64) float64 {
+	if len(accesses) == 0 {
+		return 0
+	}
+	var sum, max uint64
+	for _, a := range accesses {
+		sum += a
+		if a > max {
+			max = a
+		}
+	}
+	if sum == 0 {
+		return 0
+	}
+	mean := float64(sum) / float64(len(accesses))
+	return float64(max) / mean
 }
 
 // The one-line table rendering of a report lives in

@@ -1,0 +1,75 @@
+package storage
+
+import "sync/atomic"
+
+// Partitioner maps row keys to partition ids. Implementations must be
+// pure functions of the key: every key routes to exactly one partition in
+// [0, NumPartitions()) for the lifetime of the table. The routing decision
+// is consulted on every Get/Insert, so implementations should be a handful
+// of arithmetic instructions and must not allocate.
+type Partitioner interface {
+	// NumPartitions is the fixed partition count (≥ 1).
+	NumPartitions() int
+	// Partition returns the partition id for key, in [0, NumPartitions()).
+	Partition(key uint64) int
+}
+
+// SinglePartition routes every key to partition 0 — the default layout,
+// identical to the pre-partitioning flat table.
+type SinglePartition struct{}
+
+// NumPartitions implements Partitioner.
+func (SinglePartition) NumPartitions() int { return 1 }
+
+// Partition implements Partitioner.
+func (SinglePartition) Partition(uint64) int { return 0 }
+
+// HashPartitioner spreads keys uniformly over N partitions by Fibonacci
+// hashing (the same multiplier the index shards use), so dense sequential
+// keyspaces — YCSB's 0..Rows-1 — balance without coordination.
+type HashPartitioner struct{ N int }
+
+// NumPartitions implements Partitioner.
+func (h HashPartitioner) NumPartitions() int { return h.N }
+
+// Partition implements Partitioner.
+func (h HashPartitioner) Partition(key uint64) int {
+	return int(((key * 0x9E3779B97F4A7C15) >> 32) % uint64(h.N))
+}
+
+// FuncPartitioner adapts a key→partition function, for range partitioning
+// over domain-specific key encodings (TPC-C partitions every
+// warehouse-keyed table by the warehouse id packed into the key).
+type FuncPartitioner struct {
+	N  int
+	Fn func(key uint64) int
+}
+
+// NumPartitions implements Partitioner.
+func (f FuncPartitioner) NumPartitions() int { return f.N }
+
+// Partition implements Partitioner.
+func (f FuncPartitioner) Partition(key uint64) int { return f.Fn(key) }
+
+// Partition is one horizontal shard of a Table: it owns its own primary
+// hash index, row count and insert path, so partitions never share a
+// mutable structure — loading and indexing scale with the partition count
+// and a partition is the natural unit of multi-node placement.
+type Partition struct {
+	id    int
+	index *HashIndex
+	count atomic.Int64
+}
+
+// ID returns the partition's id within its table.
+func (p *Partition) ID() int { return p.id }
+
+// Rows returns the partition's row count.
+func (p *Partition) Rows() int64 { return p.count.Load() }
+
+// Get returns the row for key, or nil. The caller is responsible for key
+// actually routing to this partition.
+func (p *Partition) Get(key uint64) *Row { return p.index.Get(key) }
+
+// Range iterates the partition's rows; see HashIndex.Range.
+func (p *Partition) Range(fn func(key uint64, r *Row) bool) { p.index.Range(fn) }

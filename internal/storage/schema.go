@@ -1,9 +1,15 @@
 // Package storage provides the in-memory row store substrate used by every
 // protocol in this repository: fixed-width schemas, rows that embed a lock
-// entry and an OCC timestamp word, tables, sharded hash indexes, and a
-// catalog. It mirrors the role DBx1000's row/index/catalog layer plays for
-// the paper's evaluation: data is stored row-oriented and accessed through
-// hash indexes (paper §5.1).
+// entry and an OCC timestamp word, partitioned tables, sharded hash
+// indexes, and a catalog. It mirrors the role DBx1000's row/index/catalog
+// layer plays for the paper's evaluation: data is stored row-oriented and
+// accessed through hash indexes (paper §5.1).
+//
+// Every Table is a set of Partitions chosen by a pluggable Partitioner
+// (hash by default; range over domain keys for TPC-C). Each partition owns
+// its own index, row count and insert path, so loaders parallelize per
+// partition and no table-wide structure is shared; a single-partition
+// table is bit-for-bit the old flat layout.
 package storage
 
 import (

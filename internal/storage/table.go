@@ -27,6 +27,9 @@ type Row struct {
 
 	// Key is the primary key the row was inserted under.
 	Key uint64
+	// PartitionID is the id of the partition the row lives in — the seam
+	// multi-node routing and per-partition telemetry key off.
+	PartitionID int
 	// Table is a back-reference to the owning table (schema access).
 	Table *Table
 }
@@ -34,22 +37,55 @@ type Row struct {
 // Schema returns the row's schema.
 func (r *Row) Schema() *Schema { return r.Table.Schema }
 
-// Table is a collection of rows with a schema and a primary hash index.
+// Table is a collection of rows with a schema, stored as a set of
+// Partitions chosen by a Partitioner. Every partition owns its own primary
+// index, row count and insert path; the table is only the router. A
+// single-partition table (the default) behaves exactly like the old flat
+// table.
 type Table struct {
 	Schema *Schema
-	// Primary is the primary-key hash index.
-	Primary *HashIndex
-	count   atomic.Int64
+	part   Partitioner
+	parts  []*Partition
 }
 
-// NewTable creates an empty table with a primary index sized for the given
-// expected row count (0 for default).
+// NewTable creates an empty single-partition table with a primary index
+// sized for the given expected row count (0 for default).
 func NewTable(schema *Schema, expectRows int) *Table {
-	return &Table{Schema: schema, Primary: NewHashIndex(expectRows)}
+	return NewPartitionedTable(schema, expectRows, SinglePartition{})
 }
+
+// NewPartitionedTable creates an empty table whose rows are split across
+// p.NumPartitions() partitions by p; expectRows sizes the per-partition
+// indexes in aggregate.
+func NewPartitionedTable(schema *Schema, expectRows int, p Partitioner) *Table {
+	if p == nil {
+		p = SinglePartition{}
+	}
+	n := p.NumPartitions()
+	if n < 1 {
+		panic(fmt.Sprintf("storage: partitioner for table %s has %d partitions", schema.Name, n))
+	}
+	t := &Table{Schema: schema, part: p, parts: make([]*Partition, n)}
+	per := expectRows / n
+	for i := range t.parts {
+		t.parts[i] = &Partition{id: i, index: NewHashIndex(per)}
+	}
+	return t
+}
+
+// NumPartitions returns the table's partition count.
+func (t *Table) NumPartitions() int { return len(t.parts) }
+
+// Partition returns partition i.
+func (t *Table) Partition(i int) *Partition { return t.parts[i] }
+
+// PartitionFor returns the partition id key routes to.
+func (t *Table) PartitionFor(key uint64) int { return t.part.Partition(key) }
 
 // InsertRow creates a row with the given key and image and registers it in
-// the primary index. It returns an error if the key already exists.
+// its partition's primary index. It returns an error if the key already
+// exists. Inserts into distinct partitions share no mutable state, which
+// is what makes partition-parallel loading embarrassingly parallel.
 func (t *Table) InsertRow(key uint64, image []byte) (*Row, error) {
 	if image == nil {
 		image = t.Schema.NewRowImage()
@@ -58,12 +94,18 @@ func (t *Table) InsertRow(key uint64, image []byte) (*Row, error) {
 		return nil, fmt.Errorf("storage: image size %d != schema size %d for table %s",
 			len(image), t.Schema.RowSize(), t.Schema.Name)
 	}
-	r := &Row{Key: key, Table: t}
+	pid := t.part.Partition(key)
+	if pid < 0 || pid >= len(t.parts) {
+		return nil, fmt.Errorf("storage: key %d routed to partition %d of %d in table %s",
+			key, pid, len(t.parts), t.Schema.Name)
+	}
+	p := t.parts[pid]
+	r := &Row{Key: key, PartitionID: pid, Table: t}
 	r.Entry.Init(image)
-	if !t.Primary.Insert(key, r) {
+	if !p.index.Insert(key, r) {
 		return nil, fmt.Errorf("storage: duplicate key %d in table %s", key, t.Schema.Name)
 	}
-	t.count.Add(1)
+	p.count.Add(1)
 	return r, nil
 }
 
@@ -76,14 +118,54 @@ func (t *Table) MustInsertRow(key uint64, image []byte) *Row {
 	return r
 }
 
-// Get returns the row for key, or nil.
-func (t *Table) Get(key uint64) *Row { return t.Primary.Get(key) }
+// Get returns the row for key, or nil — including when the partitioner
+// routes the key out of range (a probe for a key outside the partitioned
+// domain is a miss, not a crash; inserts of such keys fail loudly).
+func (t *Table) Get(key uint64) *Row {
+	pid := t.part.Partition(key)
+	if pid < 0 || pid >= len(t.parts) {
+		return nil
+	}
+	return t.parts[pid].index.Get(key)
+}
 
-// Range iterates all rows; see HashIndex.Range.
-func (t *Table) Range(fn func(key uint64, r *Row) bool) { t.Primary.Range(fn) }
+// Range iterates all rows across every partition in partition-id order;
+// each row is visited exactly once. Within a partition the order is the
+// index's (unspecified); see HashIndex.Range.
+func (t *Table) Range(fn func(key uint64, r *Row) bool) {
+	for _, p := range t.parts {
+		stopped := false
+		p.index.Range(func(k uint64, r *Row) bool {
+			if !fn(k, r) {
+				stopped = true
+				return false
+			}
+			return true
+		})
+		if stopped {
+			return
+		}
+	}
+}
 
-// Rows returns the number of rows.
-func (t *Table) Rows() int64 { return t.count.Load() }
+// Rows returns the number of rows across all partitions.
+func (t *Table) Rows() int64 {
+	var n int64
+	for _, p := range t.parts {
+		n += p.count.Load()
+	}
+	return n
+}
+
+// PartitionRows returns the per-partition row counts (load-skew
+// telemetry).
+func (t *Table) PartitionRows() []int64 {
+	counts := make([]int64, len(t.parts))
+	for i, p := range t.parts {
+		counts[i] = p.count.Load()
+	}
+	return counts
+}
 
 // HashIndex is a sharded hash index mapping uint64 keys to rows. Shards
 // bound latch contention during TPC-C inserts while keeping reads cheap.
@@ -184,14 +266,21 @@ type Catalog struct {
 // NewCatalog returns an empty catalog.
 func NewCatalog() *Catalog { return &Catalog{tables: make(map[string]*Table)} }
 
-// CreateTable creates and registers a table.
+// CreateTable creates and registers a single-partition table.
 func (c *Catalog) CreateTable(schema *Schema, expectRows int) (*Table, error) {
+	return c.CreateTablePartitioned(schema, expectRows, SinglePartition{})
+}
+
+// CreateTablePartitioned creates and registers a table partitioned by p
+// (nil = single partition). The catalog preserves the partition layout:
+// lookups return the same routed table for the table's lifetime.
+func (c *Catalog) CreateTablePartitioned(schema *Schema, expectRows int, p Partitioner) (*Table, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if _, dup := c.tables[schema.Name]; dup {
 		return nil, fmt.Errorf("storage: table %q already exists", schema.Name)
 	}
-	t := NewTable(schema, expectRows)
+	t := NewPartitionedTable(schema, expectRows, p)
 	c.tables[schema.Name] = t
 	return t, nil
 }
@@ -199,6 +288,16 @@ func (c *Catalog) CreateTable(schema *Schema, expectRows int) (*Table, error) {
 // MustCreateTable is CreateTable that panics on error.
 func (c *Catalog) MustCreateTable(schema *Schema, expectRows int) *Table {
 	t, err := c.CreateTable(schema, expectRows)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// MustCreateTablePartitioned is CreateTablePartitioned that panics on
+// error.
+func (c *Catalog) MustCreateTablePartitioned(schema *Schema, expectRows int, p Partitioner) *Table {
+	t, err := c.CreateTablePartitioned(schema, expectRows, p)
 	if err != nil {
 		panic(err)
 	}

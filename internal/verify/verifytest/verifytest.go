@@ -238,9 +238,18 @@ func RunBankConservation(t *testing.T, e core.Engine, accounts, workers, perWork
 	if res.Err != nil {
 		t.Fatalf("%s: run failed: %v", e.Name(), res.Err)
 	}
+	// Sum via the partition-aware Range: the conservation total does not
+	// depend on iteration order, and Range visits every row exactly once
+	// regardless of how the table is partitioned.
 	var total int64
-	for k := 0; k < accounts; k++ {
-		total += schema.GetInt64(RowImage(tbl.Get(uint64(k))), 0)
+	var counted int
+	tbl.Range(func(_ uint64, row *storage.Row) bool {
+		total += schema.GetInt64(RowImage(row), 0)
+		counted++
+		return true
+	})
+	if counted != accounts {
+		t.Fatalf("%s: Range visited %d rows, want %d", e.Name(), counted, accounts)
 	}
 	if want := int64(accounts * initial); total != want {
 		t.Fatalf("%s: total balance = %d, want %d (money not conserved)", e.Name(), total, want)
@@ -259,8 +268,9 @@ func RowImage(row *storage.Row) []byte {
 
 func checkEntriesDrained(t *testing.T, e core.Engine, tbl *storage.Table, rows int) {
 	t.Helper()
-	for k := 0; k < rows; k++ {
-		row := tbl.Get(uint64(k))
+	seen := 0
+	tbl.Range(func(k uint64, row *storage.Row) bool {
+		seen++
 		if ret, own, wait := row.Entry.Snapshot(); ret+own+wait != 0 {
 			t.Errorf("%s: row %d entry not drained: retired=%d owners=%d waiters=%d",
 				e.Name(), k, ret, own, wait)
@@ -268,6 +278,10 @@ func checkEntriesDrained(t *testing.T, e core.Engine, tbl *storage.Table, rows i
 		if err := row.Entry.CheckInvariants(); err != nil {
 			t.Errorf("%s: row %d: %v", e.Name(), k, err)
 		}
+		return true
+	})
+	if seen != rows {
+		t.Errorf("%s: Range visited %d rows, want %d", e.Name(), seen, rows)
 	}
 }
 

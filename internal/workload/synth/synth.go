@@ -65,7 +65,10 @@ func Load(db *core.DB, cfg Config) (*Workload, error) {
 		cols = append(cols, storage.Column{Name: fmt.Sprintf("pad%d", i), Type: storage.ColInt64})
 	}
 	schema := storage.NewSchema("synth", cols...)
-	tbl, err := db.Catalog.CreateTable(schema, cfg.Rows)
+	// Hash-partitioned like YCSB so partition telemetry stays meaningful
+	// on synthetic experiments; rows are tiny, so the load stays serial.
+	tbl, err := db.Catalog.CreateTablePartitioned(schema, cfg.Rows,
+		storage.HashPartitioner{N: db.Partitions()})
 	if err != nil {
 		return nil, err
 	}

@@ -14,6 +14,7 @@ import (
 	"math/rand"
 	"sort"
 	"strconv"
+	"sync"
 	"sync/atomic"
 
 	"bamboo/internal/core"
@@ -278,7 +279,28 @@ func lastNameKey(w, d int64, name string) string {
 	return strconv.FormatInt(w*distPerWarehouse+d, 10) + "/" + name
 }
 
-// Load creates and populates all nine tables.
+// Key→warehouse decoders, inverting the key encodings above; the range
+// partitioner routes every warehouse-keyed table by them.
+
+func widOfWarehouseKey(k uint64) int64 { return int64(k) }
+func widOfDistrictKey(k uint64) int64  { return int64(k) / distPerWarehouse }
+func widOfCustomerKey(k uint64) int64 {
+	return int64(k) / (distPerWarehouse * custPerDistrict)
+}
+func widOfStockKey(k uint64) int64     { return int64(k >> 32) }
+func widOfOrderKey(k uint64) int64     { return int64(k>>40) / distPerWarehouse }
+func widOfOrderLineKey(k uint64) int64 { return int64(k>>45) / distPerWarehouse }
+
+// Load creates and populates all nine tables. With db.Partitions() > 1
+// every warehouse-keyed table is range-partitioned by warehouse —
+// partition p owns the contiguous warehouse range [p·W/P, (p+1)·W/P),
+// empty when P exceeds W — and the loader populates the
+// partitions in parallel, one goroutine per partition, each seeding a
+// per-warehouse rng so the data is deterministic for any partition count.
+// Item (the global catalog) and History (runtime inserts under a
+// sequential key) are hash-partitioned. A single-partition load keeps the
+// original serial path and rng stream, so Partitions=1 is bit-for-bit the
+// pre-partitioning behavior.
 func Load(db *core.DB, cfg Config) (*Workload, error) {
 	if cfg.Warehouses < 1 || cfg.Items < 100 {
 		return nil, fmt.Errorf("tpcc: invalid scale W=%d I=%d", cfg.Warehouses, cfg.Items)
@@ -288,73 +310,136 @@ func Load(db *core.DB, cfg Config) (*Workload, error) {
 	}
 	w := &Workload{cfg: cfg, byLastName: make(map[string][]int64)}
 
-	w.Warehouse = db.Catalog.MustCreateTable(warehouseSchema(), cfg.Warehouses)
-	w.District = db.Catalog.MustCreateTable(districtSchema(), cfg.Warehouses*distPerWarehouse)
-	w.Customer = db.Catalog.MustCreateTable(customerSchema(),
-		cfg.Warehouses*distPerWarehouse*cfg.CustomersPerDistrict)
-	w.Item = db.Catalog.MustCreateTable(itemSchema(), cfg.Items)
-	w.Stock = db.Catalog.MustCreateTable(stockSchema(), cfg.Warehouses*cfg.Items)
-	w.Orders = db.Catalog.MustCreateTable(orderSchema(), 1<<16)
-	w.NewOrderTbl = db.Catalog.MustCreateTable(newOrderSchema(), 1<<16)
-	w.OrderLine = db.Catalog.MustCreateTable(orderLineSchema(), 1<<18)
-	w.HistoryTbl = db.Catalog.MustCreateTable(historySchema(), 1<<16)
+	// The configured partition count is honored even when it exceeds the
+	// warehouse count: wid·P/W stays < P for every wid < W, the surplus
+	// partitions are simply empty, and the partition-counter telemetry
+	// (sized from Config.Partitions at DB construction) stays aligned
+	// with the table layout.
+	parts := db.Partitions()
+	widPart := func(wid int64) int { return int(wid) * parts / cfg.Warehouses }
+	byWID := func(decode func(uint64) int64) storage.Partitioner {
+		return storage.FuncPartitioner{N: parts, Fn: func(k uint64) int { return widPart(decode(k)) }}
+	}
+	byHash := storage.HashPartitioner{N: parts}
+
+	w.Warehouse = db.Catalog.MustCreateTablePartitioned(warehouseSchema(), cfg.Warehouses, byWID(widOfWarehouseKey))
+	w.District = db.Catalog.MustCreateTablePartitioned(districtSchema(), cfg.Warehouses*distPerWarehouse, byWID(widOfDistrictKey))
+	w.Customer = db.Catalog.MustCreateTablePartitioned(customerSchema(),
+		cfg.Warehouses*distPerWarehouse*cfg.CustomersPerDistrict, byWID(widOfCustomerKey))
+	w.Item = db.Catalog.MustCreateTablePartitioned(itemSchema(), cfg.Items, byHash)
+	w.Stock = db.Catalog.MustCreateTablePartitioned(stockSchema(), cfg.Warehouses*cfg.Items, byWID(widOfStockKey))
+	w.Orders = db.Catalog.MustCreateTablePartitioned(orderSchema(), 1<<16, byWID(widOfOrderKey))
+	w.NewOrderTbl = db.Catalog.MustCreateTablePartitioned(newOrderSchema(), 1<<16, byWID(widOfOrderKey))
+	w.OrderLine = db.Catalog.MustCreateTablePartitioned(orderLineSchema(), 1<<18, byWID(widOfOrderLineKey))
+	w.HistoryTbl = db.Catalog.MustCreateTablePartitioned(historySchema(), 1<<16, byHash)
 
 	w.resolveColumns()
 
-	rng := rand.New(rand.NewSource(cfg.Seed + 42))
-	for wid := int64(0); wid < int64(cfg.Warehouses); wid++ {
-		ws := w.Warehouse.Schema
-		img := ws.NewRowImage()
-		ws.SetInt64(img, w.wc.ID, wid)
-		ws.SetBytes(img, w.wc.Name, []byte(fmt.Sprintf("WH%03d", wid)))
-		ws.SetInt64(img, w.wc.Tax, int64(rng.Intn(2001))) // 0–0.2000 in basis points
-		ws.SetInt64(img, w.wc.YTD, 30000000)              // $300,000.00 in cents
-		w.Warehouse.MustInsertRow(uint64(wid), img)
-
-		for did := int64(0); did < distPerWarehouse; did++ {
-			ds := w.District.Schema
-			img := ds.NewRowImage()
-			ds.SetInt64(img, w.dc.ID, did)
-			ds.SetInt64(img, w.dc.WID, wid)
-			ds.SetInt64(img, w.dc.Tax, int64(rng.Intn(2001)))
-			ds.SetInt64(img, w.dc.YTD, 3000000) // $30,000.00
-			ds.SetInt64(img, w.dc.NextOID, 3001)
-			w.District.MustInsertRow(districtKey(wid, did), img)
-
-			for cid := int64(0); cid < int64(cfg.CustomersPerDistrict); cid++ {
-				cs := w.Customer.Schema
-				img := cs.NewRowImage()
-				cs.SetInt64(img, w.cc.ID, cid)
-				cs.SetInt64(img, w.cc.DID, did)
-				cs.SetInt64(img, w.cc.WID, wid)
-				var ln string
-				if cid < 1000 {
-					ln = lastName(int(cid))
-				} else {
-					ln = lastName(nuRand(rng, 255, 157, 0, 999))
+	if parts == 1 {
+		rng := rand.New(rand.NewSource(cfg.Seed + 42))
+		for wid := int64(0); wid < int64(cfg.Warehouses); wid++ {
+			w.loadWarehouse(wid, rng, w.byLastName)
+		}
+		w.loadItems(rng)
+	} else {
+		var wg sync.WaitGroup
+		names := make([]map[string][]int64, parts)
+		for p := 0; p < parts; p++ {
+			wg.Add(1)
+			go func(p int) {
+				defer wg.Done()
+				local := make(map[string][]int64)
+				for wid := int64(0); wid < int64(cfg.Warehouses); wid++ {
+					if widPart(wid) != p {
+						continue
+					}
+					rng := rand.New(rand.NewSource(cfg.Seed + 42 + (wid+1)*1_000_003))
+					w.loadWarehouse(wid, rng, local)
 				}
-				cs.SetBytes(img, w.cc.Last, []byte(ln))
-				credit := "GC"
-				if rng.Intn(10) == 0 {
-					credit = "BC"
-				}
-				cs.SetBytes(img, w.cc.Credit, []byte(credit))
-				cs.SetInt64(img, w.cc.Balance, -1000) // -$10.00
-				w.Customer.MustInsertRow(customerKey(wid, did, cid), img)
-				k := lastNameKey(wid, did, ln)
-				w.byLastName[k] = append(w.byLastName[k], cid)
+				names[p] = local
+			}(p)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w.loadItems(rand.New(rand.NewSource(cfg.Seed + 43)))
+		}()
+		wg.Wait()
+		// Last-name keys embed the warehouse id, so the per-partition maps
+		// are disjoint and merge without conflict.
+		for _, local := range names {
+			for k, ids := range local {
+				w.byLastName[k] = ids
 			}
 		}
-		for iid := int64(0); iid < int64(cfg.Items); iid++ {
-			ss := w.Stock.Schema
-			img := ss.NewRowImage()
-			ss.SetInt64(img, w.sc.IID, iid)
-			ss.SetInt64(img, w.sc.WID, wid)
-			ss.SetInt64(img, w.sc.Quantity, int64(rng.Intn(91)+10))
-			w.Stock.MustInsertRow(stockKey(wid, iid), img)
+	}
+	for k := range w.byLastName {
+		ids := w.byLastName[k]
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	}
+	return w, nil
+}
+
+// loadWarehouse populates one warehouse: its row, districts, customers and
+// stock. names receives the (w, d, lastname)→customer-ids entries; callers
+// loading warehouses in parallel pass goroutine-local maps.
+func (w *Workload) loadWarehouse(wid int64, rng *rand.Rand, names map[string][]int64) {
+	cfg := w.cfg
+	ws := w.Warehouse.Schema
+	img := ws.NewRowImage()
+	ws.SetInt64(img, w.wc.ID, wid)
+	ws.SetBytes(img, w.wc.Name, []byte(fmt.Sprintf("WH%03d", wid)))
+	ws.SetInt64(img, w.wc.Tax, int64(rng.Intn(2001))) // 0–0.2000 in basis points
+	ws.SetInt64(img, w.wc.YTD, 30000000)              // $300,000.00 in cents
+	w.Warehouse.MustInsertRow(uint64(wid), img)
+
+	for did := int64(0); did < distPerWarehouse; did++ {
+		ds := w.District.Schema
+		img := ds.NewRowImage()
+		ds.SetInt64(img, w.dc.ID, did)
+		ds.SetInt64(img, w.dc.WID, wid)
+		ds.SetInt64(img, w.dc.Tax, int64(rng.Intn(2001)))
+		ds.SetInt64(img, w.dc.YTD, 3000000) // $30,000.00
+		ds.SetInt64(img, w.dc.NextOID, 3001)
+		w.District.MustInsertRow(districtKey(wid, did), img)
+
+		for cid := int64(0); cid < int64(cfg.CustomersPerDistrict); cid++ {
+			cs := w.Customer.Schema
+			img := cs.NewRowImage()
+			cs.SetInt64(img, w.cc.ID, cid)
+			cs.SetInt64(img, w.cc.DID, did)
+			cs.SetInt64(img, w.cc.WID, wid)
+			var ln string
+			if cid < 1000 {
+				ln = lastName(int(cid))
+			} else {
+				ln = lastName(nuRand(rng, 255, 157, 0, 999))
+			}
+			cs.SetBytes(img, w.cc.Last, []byte(ln))
+			credit := "GC"
+			if rng.Intn(10) == 0 {
+				credit = "BC"
+			}
+			cs.SetBytes(img, w.cc.Credit, []byte(credit))
+			cs.SetInt64(img, w.cc.Balance, -1000) // -$10.00
+			w.Customer.MustInsertRow(customerKey(wid, did, cid), img)
+			k := lastNameKey(wid, did, ln)
+			names[k] = append(names[k], cid)
 		}
 	}
 	for iid := int64(0); iid < int64(cfg.Items); iid++ {
+		ss := w.Stock.Schema
+		img := ss.NewRowImage()
+		ss.SetInt64(img, w.sc.IID, iid)
+		ss.SetInt64(img, w.sc.WID, wid)
+		ss.SetInt64(img, w.sc.Quantity, int64(rng.Intn(91)+10))
+		w.Stock.MustInsertRow(stockKey(wid, iid), img)
+	}
+}
+
+// loadItems populates the global item catalog.
+func (w *Workload) loadItems(rng *rand.Rand) {
+	for iid := int64(0); iid < int64(w.cfg.Items); iid++ {
 		is := w.Item.Schema
 		img := is.NewRowImage()
 		is.SetInt64(img, w.ic.ID, iid)
@@ -362,11 +447,6 @@ func Load(db *core.DB, cfg Config) (*Workload, error) {
 		is.SetInt64(img, w.ic.Price, int64(rng.Intn(9901)+100)) // $1.00–$100.00
 		w.Item.MustInsertRow(uint64(iid), img)
 	}
-	for k := range w.byLastName {
-		ids := w.byLastName[k]
-		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	}
-	return w, nil
 }
 
 func (w *Workload) resolveColumns() {

@@ -67,7 +67,12 @@ type Workload struct {
 	stampCol int
 }
 
-// Load creates and populates the YCSB table.
+// Load creates and populates the YCSB table. With db.Partitions() > 1 the
+// table is hash-partitioned and loaded partition-parallel: one goroutine
+// per partition inserts exactly the keys that route to it, touching no
+// structure any other loader touches. A single-partition load keeps the
+// original serial path (and its exact rng stream) so Partitions=1 is
+// bit-for-bit the pre-partitioning behavior.
 func Load(db *core.DB, cfg Config) (*Workload, error) {
 	if cfg.Rows <= cfg.OpsPerTxn {
 		return nil, fmt.Errorf("ycsb: %d rows too small", cfg.Rows)
@@ -79,19 +84,38 @@ func Load(db *core.DB, cfg Config) (*Workload, error) {
 		})
 	}
 	schema := storage.NewSchema("ycsb", cols...)
-	tbl, err := db.Catalog.CreateTable(schema, cfg.Rows)
+	parts := db.Partitions()
+	part := storage.HashPartitioner{N: parts}
+	tbl, err := db.Catalog.CreateTablePartitioned(schema, cfg.Rows, part)
 	if err != nil {
 		return nil, err
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed + 7))
-	buf := make([]byte, cfg.ColumnBytes)
-	for k := 0; k < cfg.Rows; k++ {
-		img := schema.NewRowImage()
-		for c := 1; c < cfg.Columns; c++ {
-			rng.Read(buf)
-			schema.SetBytes(img, c, buf)
+	loadRange := func(rng *rand.Rand, want int) {
+		buf := make([]byte, cfg.ColumnBytes)
+		for k := 0; k < cfg.Rows; k++ {
+			if want >= 0 && part.Partition(uint64(k)) != want {
+				continue
+			}
+			img := schema.NewRowImage()
+			for c := 1; c < cfg.Columns; c++ {
+				rng.Read(buf)
+				schema.SetBytes(img, c, buf)
+			}
+			tbl.MustInsertRow(uint64(k), img)
 		}
-		tbl.MustInsertRow(uint64(k), img)
+	}
+	if parts == 1 {
+		loadRange(rand.New(rand.NewSource(cfg.Seed+7)), -1)
+	} else {
+		var wg sync.WaitGroup
+		for p := 0; p < parts; p++ {
+			wg.Add(1)
+			go func(p int) {
+				defer wg.Done()
+				loadRange(rand.New(rand.NewSource(cfg.Seed+7+int64(p)*65537)), p)
+			}(p)
+		}
+		wg.Wait()
 	}
 	return &Workload{cfg: cfg, tbl: tbl, schema: schema, stampCol: 0}, nil
 }

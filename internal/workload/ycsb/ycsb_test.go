@@ -77,6 +77,70 @@ func TestYCSBSkewHitsHotSet(t *testing.T) {
 	}
 }
 
+// TestYCSBPartitionedLoadComplete checks the partition-parallel loader
+// produces a complete table: every key present exactly once, per-partition
+// counts summing to Rows, access counters feeding the partition ids, and a
+// contended run over the partitioned table conserving writes.
+func TestYCSBPartitionedLoadComplete(t *testing.T) {
+	cc := core.Bamboo()
+	cc.Partitions = 4
+	db := core.NewDB(cc)
+	cfg := smallConfig()
+	w, err := ycsb.Load(db, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := w.Table()
+	if tbl.NumPartitions() != 4 {
+		t.Fatalf("partitions = %d, want 4", tbl.NumPartitions())
+	}
+	if got := tbl.Rows(); got != int64(cfg.Rows) {
+		t.Fatalf("rows = %d, want %d", got, cfg.Rows)
+	}
+	for k := 0; k < cfg.Rows; k++ {
+		r := tbl.Get(uint64(k))
+		if r == nil {
+			t.Fatalf("key %d missing after parallel load", k)
+		}
+		if r.PartitionID != tbl.PartitionFor(uint64(k)) {
+			t.Fatalf("key %d in partition %d, routes to %d", k, r.PartitionID, tbl.PartitionFor(uint64(k)))
+		}
+	}
+	var sum int64
+	for _, c := range tbl.PartitionRows() {
+		if c == 0 {
+			t.Fatalf("empty partition after parallel load: %v", tbl.PartitionRows())
+		}
+		sum += c
+	}
+	if sum != int64(cfg.Rows) {
+		t.Fatalf("partition counts sum to %d, want %d", sum, cfg.Rows)
+	}
+
+	res := core.RunN(core.NewLockEngine(db), 4, 100, w.Generator())
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	total := w.TotalWrites()
+	if total <= 0 || total > int64(4*100*16) {
+		t.Fatalf("total writes = %d out of range", total)
+	}
+	accs := db.Global.PartitionAccesses()
+	if len(accs) != 4 {
+		t.Fatalf("partition access counters = %v, want 4 entries", accs)
+	}
+	var accSum uint64
+	for _, a := range accs {
+		if a == 0 {
+			t.Fatalf("a partition saw zero accesses: %v", accs)
+		}
+		accSum += a
+	}
+	if accSum == 0 {
+		t.Fatal("no partition accesses recorded")
+	}
+}
+
 func TestYCSBRMWMixRunsUnannotated(t *testing.T) {
 	// Every update is issued read-then-update: the whole write load goes
 	// through the executor's SH→EX upgrade path, under contention (theta
