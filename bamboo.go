@@ -35,6 +35,7 @@ import (
 	"bamboo/internal/rpcsim"
 	"bamboo/internal/stats"
 	"bamboo/internal/storage"
+	"bamboo/internal/wal"
 )
 
 // Protocol selects the concurrency-control scheme of a DB.
@@ -132,7 +133,28 @@ type Options struct {
 	// accumulation window (0 = flush as soon as records are pending).
 	GroupCommit         bool
 	GroupCommitInterval time.Duration
+	// WALDir, when set, puts the commit log on real files under this
+	// directory (one append-only log per storage partition) with the
+	// WALFsync policy; Close syncs and closes them. After a crash,
+	// Internal().ReplayDir rebuilds row state from such a directory.
+	WALDir           string
+	WALFsync         FsyncPolicy
+	WALFsyncInterval time.Duration
 }
+
+// FsyncPolicy re-exports the WAL fsync policies for Options.WALFsync.
+type FsyncPolicy = wal.FsyncPolicy
+
+// Fsync policies for Options.WALFsync.
+const (
+	// FsyncNone never syncs (page-cache durability only).
+	FsyncNone = wal.FsyncNone
+	// FsyncBatch syncs once per device write (per record, or per group-
+	// commit epoch when GroupCommit is on).
+	FsyncBatch = wal.FsyncBatch
+	// FsyncInterval syncs at most once per WALFsyncInterval.
+	FsyncInterval = wal.FsyncInterval
+)
 
 // DB is a database instance bound to one protocol.
 type DB struct {
@@ -167,6 +189,9 @@ func Open(opts Options) *DB {
 	cfg.AbortBackoffMax = opts.AbortBackoffMax
 	cfg.GroupCommit = opts.GroupCommit
 	cfg.GroupCommitInterval = opts.GroupCommitInterval
+	cfg.WALDir = opts.WALDir
+	cfg.WALFsync = opts.WALFsync
+	cfg.WALFsyncInterval = opts.WALFsyncInterval
 
 	db := &DB{inner: core.NewDB(cfg)}
 	if opts.Protocol == Silo {

@@ -15,6 +15,7 @@ package bench
 import (
 	"fmt"
 	"io"
+	"os"
 	"runtime"
 	"sort"
 	"time"
@@ -25,6 +26,7 @@ import (
 	"bamboo/internal/occ"
 	"bamboo/internal/rpcsim"
 	"bamboo/internal/stats"
+	"bamboo/internal/wal"
 	"bamboo/internal/workload/synth"
 	"bamboo/internal/workload/tpcc"
 	"bamboo/internal/workload/ycsb"
@@ -119,6 +121,7 @@ func All() []Experiment {
 		{"scaling", "Scaling: thread ladder on the interactive hotspot workload", ScalingSweep},
 		{"upgrade", "Upgrade: un-annotated RMW hotspot, SH→EX upgrade-rate sweep", UpgradeSweep},
 		{"partition", "Partition: YCSB throughput and load time vs partition count (theta=0.9)", PartitionSweep},
+		{"durability", "Durability: fsync policy × partitions on file-backed partition WALs (theta=0.6)", DurabilitySweep},
 	}
 }
 
@@ -275,6 +278,14 @@ func runPointOnce(s Scale, b engineBuilder, interactive bool,
 	// distinguishable in tables and in the JSON document.
 	res.Report.Protocol = b.name
 	res.Report.LoadTime = loadTime
+	// Durability telemetry from the DB's log devices, read before Close so
+	// the numbers are the steady-state run's (no shutdown sync).
+	ws := db.WALStats()
+	res.Report.WALAppends = ws.Appends
+	res.Report.WALBatches = ws.Batches
+	res.Report.WALBytes = ws.Bytes
+	res.Report.WALSyncs = ws.Syncs
+	res.Report.WALSyncTime = ws.SyncTime
 	return res.Report
 }
 
@@ -713,6 +724,89 @@ func PartitionSweep(s Scale) []Row {
 		lockBuilder(core.WoundWait()),
 	}
 	ladder := []int{1, 2, 4, 8}
+	if s.Partitions > 0 {
+		ladder = []int{s.Partitions}
+	}
+	var rows []Row
+	for _, parts := range ladder {
+		sc := s
+		sc.Partitions = parts
+		x := fmt.Sprintf("partitions=%d threads=%d", parts, threads)
+		for _, b := range builders {
+			rep := runPoint(sc, b, false, ycsbLoader(cfg), threads)
+			rows = append(rows, Row{X: x, Protocol: b.name, Report: rep})
+		}
+	}
+	return rows
+}
+
+// DurabilitySweep measures the durability pipeline on real file devices:
+// YCSB at medium contention (theta 0.6, so the log — not the lock table —
+// is the bottleneck under test) over per-partition WAL files, sweeping
+// the fsync policy at 1, 2 and 4 partitions. The series isolate what each
+// mechanism buys:
+//
+//   - fsync=commit   one fsync per commit record — the naive durable
+//     baseline group commit exists to beat;
+//   - fsync=group    per-partition group commit, one fsync per epoch
+//     batch (200µs accumulation window): fsyncs/txn is WALSyncs/Commits
+//     and must drop well below 1;
+//   - fsync=interval at most one fsync per millisecond (bounded loss at
+//     bounded sync rate), no batching of the writes themselves;
+//   - fsync=none     page-cache writes only — the write-path cost floor.
+//
+// Partitions multiply the independent logs: at P partitions the
+// per-commit-fsync configuration spreads its syncs over P files (devices
+// sync concurrently from different workers), while group commit gets P
+// independent flushers. Each point's wal_appends/wal_batches/wal_syncs/
+// fsync_ns land in the JSON document. An explicit -partitions pins the
+// ladder to that single count, as in the partition sweep.
+//
+// Absolute numbers depend on the device behind the temp dir (tmpfs vs
+// SSD vs spinning disk — EXPERIMENTS.md records both ends); the shape to
+// reproduce is group commit holding throughput near fsync=none while
+// fsync=commit collapses with real fsync latency.
+func DurabilitySweep(s Scale) []Row {
+	threads := maxThreads(s)
+	cfg := ycsb.DefaultConfig()
+	cfg.Rows = s.Rows
+	cfg.Theta = 0.6
+
+	mk := func(name string, gc bool, policy wal.FsyncPolicy, interval time.Duration) engineBuilder {
+		return engineBuilder{name: name, make: func(partitions int) (core.Engine, *core.DB, func()) {
+			dir, err := os.MkdirTemp("", "bamboo-durability-")
+			if err != nil {
+				panic(fmt.Sprintf("bench: wal temp dir: %v", err))
+			}
+			c := core.Bamboo()
+			c.Partitions = partitions
+			c.GroupCommit = gc
+			if gc {
+				// A real accumulation window, not pure piggyback: on
+				// few-core hosts the flusher goroutines starve behind the
+				// workers, so interval-0 epochs degenerate toward one
+				// record each (measured 0.53 syncs/txn piggyback vs 0.27
+				// with the window at one partition, and a 40ms p99 tail at
+				// four partitions on the 1-CPU container).
+				c.GroupCommitInterval = 200 * time.Microsecond
+			}
+			c.WALDir = dir
+			c.WALFsync = policy
+			c.WALFsyncInterval = interval
+			db := core.NewDB(c)
+			return core.NewLockEngine(db), db, func() {
+				db.Close()
+				os.RemoveAll(dir)
+			}
+		}}
+	}
+	builders := []engineBuilder{
+		mk("fsync=commit", false, wal.FsyncBatch, 0),
+		mk("fsync=group", true, wal.FsyncBatch, 0),
+		mk("fsync=interval", false, wal.FsyncInterval, time.Millisecond),
+		mk("fsync=none", false, wal.FsyncNone, 0),
+	}
+	ladder := []int{1, 2, 4}
 	if s.Partitions > 0 {
 		ladder = []int{s.Partitions}
 	}

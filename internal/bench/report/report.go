@@ -96,6 +96,18 @@ type Point struct {
 	PartitionConflicts []uint64 `json:"partition_conflicts,omitempty"`
 	PartitionSkew      float64  `json:"partition_skew,omitempty"`
 
+	// WAL durability telemetry for the point's DB (additive + omitempty,
+	// absent in pre-durability documents): records appended, device write
+	// operations (what group commit amortizes), payload bytes, and the
+	// fsync count and total nanoseconds a real device charged. Fsyncs/
+	// commit — the quantity the durability experiment sweeps — is
+	// WALSyncs over Commits.
+	WALAppends int64 `json:"wal_appends,omitempty"`
+	WALBatches int64 `json:"wal_batches,omitempty"`
+	WALBytes   int64 `json:"wal_bytes,omitempty"`
+	WALSyncs   int64 `json:"wal_syncs,omitempty"`
+	FsyncNS    int64 `json:"fsync_ns,omitempty"`
+
 	ElapsedNS int64 `json:"elapsed_ns"`
 }
 
@@ -185,6 +197,11 @@ func PointFrom(x string, r stats.Report) Point {
 		PartitionAccesses:  r.PartitionAccesses,
 		PartitionConflicts: r.PartitionConflicts,
 		PartitionSkew:      r.PartitionSkew,
+		WALAppends:         int64(r.WALAppends),
+		WALBatches:         int64(r.WALBatches),
+		WALBytes:           int64(r.WALBytes),
+		WALSyncs:           int64(r.WALSyncs),
+		FsyncNS:            int64(r.WALSyncTime),
 		ElapsedNS:          int64(r.Elapsed),
 	}
 }

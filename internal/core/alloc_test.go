@@ -117,6 +117,33 @@ func TestAllocBudgetPartitioned(t *testing.T) {
 	}
 }
 
+// TestAllocBudgetPartitionedWAL asserts the partition-routed commit path
+// adds zero steady-state allocations: splitting each commit record by
+// owning partition and submitting to per-partition logs reuses
+// session-owned records, appenders, ticket and touched-partition scratch.
+// Measured both on the in-memory partition devices and on real file
+// devices (FsyncNone so the measurement is not fsync-bound).
+func TestAllocBudgetPartitionedWAL(t *testing.T) {
+	flat := measureAllocsPerTxn(t, core.Bamboo())
+	mem := core.Bamboo()
+	mem.Partitions = 4
+	memAllocs := measureAllocsPerTxn(t, mem)
+	file := core.Bamboo()
+	file.Partitions = 4
+	file.WALDir = t.TempDir()
+	fileAllocs := measureAllocsPerTxn(t, file)
+	t.Logf("flat %.1f, 4-partition mem-WAL %.1f, 4-partition file-WAL %.1f allocs/txn (budget %.0f)",
+		flat, memAllocs, fileAllocs, allocBudget)
+	for name, got := range map[string]float64{"mem": memAllocs, "file": fileAllocs} {
+		if got > allocBudget {
+			t.Fatalf("%s-WAL allocs/txn = %.1f exceeds budget %.1f", name, got, allocBudget)
+		}
+		if got > flat+0.5 {
+			t.Fatalf("%s-WAL partition-routed commit allocates: %.1f vs %.1f allocs/txn flat", name, got, flat)
+		}
+	}
+}
+
 // TestAllocBudgetGroupCommit keeps the group-commit commit path inside
 // the same budget: batching must not reintroduce per-commit allocation.
 func TestAllocBudgetGroupCommit(t *testing.T) {

@@ -72,18 +72,36 @@ type Config struct {
 	CaptureReads bool
 
 	// LogDevice overrides the WAL device (nil = in-memory, not recording).
+	// It only applies to the single-partition, in-memory layout: a
+	// partitioned DB owns one device per partition and a WALDir-backed DB
+	// owns its file devices, so NewDB panics on either combination to
+	// fail loudly.
 	LogDevice wal.Device
 
 	// GroupCommit batches commit-record device writes through the WAL's
 	// epoch-based group committer: committing workers block until the
 	// epoch containing their record is durable, and one device write
 	// covers the whole batch. Off (the default) keeps the paper's
-	// per-transaction append.
+	// per-transaction append. With Partitions > 1 every partition log
+	// gets its own flusher.
 	GroupCommit bool
 	// GroupCommitInterval is the epoch accumulation window; zero flushes
 	// as soon as the flusher sees pending records (piggyback batching).
 	// Only meaningful with GroupCommit set.
 	GroupCommitInterval time.Duration
+
+	// WALDir, when set, puts the commit log on real files: one
+	// append-only log per storage partition under this directory
+	// (wal.FileDevice at wal.PartitionLogPath), opened without
+	// truncation. Empty keeps the in-memory devices. DB.Close syncs and
+	// closes the files; DB.ReplayDir rebuilds state from such a
+	// directory after a crash.
+	WALDir string
+	// WALFsync selects when the file devices fsync (per batch, per
+	// interval, or never); only meaningful with WALDir set.
+	WALFsync wal.FsyncPolicy
+	// WALFsyncInterval is the window for wal.FsyncInterval.
+	WALFsyncInterval time.Duration
 }
 
 // Bamboo returns the paper's full configuration: all four optimizations
@@ -121,8 +139,16 @@ func NoWait() Config { return Config{Variant: lock.NoWait} }
 type DB struct {
 	Catalog *storage.Catalog
 	Lock    *lock.Manager
-	Log     *wal.Log
-	Global  *stats.Global
+	// Log is partition 0's log — the full shared-log API, and the only
+	// log of the single-partition layout (bit for bit the
+	// pre-partitioning commit path). Engines that are not
+	// partition-aware (Silo, IC3) append their whole records here.
+	Log *wal.Log
+	// PLog is the partition-routed durability pipeline: one group
+	// committer + device per storage partition. The lock engine routes
+	// each commit record's writes to their owning partition's log.
+	PLog   *wal.PartitionedLog
+	Global *stats.Global
 
 	cfg      Config
 	txnIDs   atomic.Uint64
@@ -152,17 +178,56 @@ func NewDB(cfg Config) *DB {
 		OnWound:     db.Global.RecordWound,
 		OnCascade:   db.Global.RecordCascade,
 	})
-	if cfg.GroupCommit {
-		db.Log = wal.NewGroupCommit(cfg.LogDevice, cfg.GroupCommitInterval)
-	} else {
-		db.Log = wal.New(cfg.LogDevice)
-	}
+	db.PLog = wal.NewPartitioned(db.walDevices(), cfg.GroupCommit, cfg.GroupCommitInterval)
+	db.Log = db.PLog.Log(0)
 	return db
 }
 
-// Close releases background resources (the group-commit flusher). Safe to
-// call on any DB; required when GroupCommit is enabled.
-func (db *DB) Close() error { return db.Log.Close() }
+// walDevices builds one log device per storage partition. The
+// single-partition layout keeps the original semantics exactly: the
+// caller's LogDevice, or a recording in-memory device. Partitioned
+// layouts get file devices under WALDir, or non-recording in-memory
+// devices (the benchmark configuration — serialization cost without
+// unbounded history). NewDB panics on device-open failure: a DB that
+// silently lost its durability directory must not come up.
+func (db *DB) walDevices() []wal.Device {
+	n := db.Partitions()
+	if db.cfg.WALDir != "" && db.cfg.LogDevice != nil {
+		panic("core: Config.LogDevice and Config.WALDir are mutually exclusive")
+	}
+	if db.cfg.WALDir != "" {
+		files, err := wal.OpenPartitionDevices(db.cfg.WALDir, n, db.cfg.WALFsync, db.cfg.WALFsyncInterval)
+		if err != nil {
+			panic(fmt.Sprintf("core: open WAL dir %s: %v", db.cfg.WALDir, err))
+		}
+		devs := make([]wal.Device, n)
+		for i, f := range files {
+			devs[i] = f
+		}
+		return devs
+	}
+	if n == 1 {
+		return []wal.Device{db.cfg.LogDevice}
+	}
+	if db.cfg.LogDevice != nil {
+		panic("core: Config.LogDevice is single-partition only; use WALDir for partitioned logs")
+	}
+	devs := make([]wal.Device, n)
+	for i := range devs {
+		devs[i] = wal.NewMemDevice(false)
+	}
+	return devs
+}
+
+// Close drains and stops every partition's group-commit flusher and
+// syncs+closes file-backed log devices. Safe to call on any DB; required
+// when GroupCommit or WALDir is enabled.
+func (db *DB) Close() error { return db.PLog.Close() }
+
+// WALStats sums the durability telemetry of every partition log device:
+// records and bytes appended, device write operations (what group commit
+// amortizes) and fsync count/time (what a real device charges).
+func (db *DB) WALStats() wal.DeviceStats { return db.PLog.Stats() }
 
 // Config returns the DB's protocol configuration.
 func (db *DB) Config() Config { return db.cfg }

@@ -29,7 +29,9 @@ func (e *LockEngine) Database() *DB { return e.db }
 // NewSession implements Engine. A session owns every piece of per-worker
 // state the transaction hot path needs — request freelist, timestamp
 // block allocator, reusable transaction/access/commit-record storage and
-// the WAL appender — so steady-state execution does not allocate.
+// the WAL appender(s) — so steady-state execution does not allocate. On a
+// partitioned DB the session holds one appender and one record scratch
+// per partition log, created once here.
 func (e *LockEngine) NewSession(worker int, col *stats.Collector) Session {
 	s := &lockSession{
 		db:     e.db,
@@ -37,7 +39,15 @@ func (e *LockEngine) NewSession(worker int, col *stats.Collector) Session {
 		col:    col,
 		rng:    rand.New(rand.NewSource(int64(worker)*7919 + 1)),
 		t:      txn.New(0),
-		wal:    e.db.Log.NewAppender(),
+	}
+	if n := e.db.PLog.Partitions(); n > 1 {
+		s.apps = make([]*wal.Appender, n)
+		for p := range s.apps {
+			s.apps[p] = e.db.PLog.Log(p).NewAppender()
+		}
+		s.precs = make([]wal.Record, n)
+	} else {
+		s.wal = e.db.Log.NewAppender()
 	}
 	s.t.SetTSAlloc(e.db.Lock.NewTSAlloc(worker))
 	s.tx.s = s
@@ -58,6 +68,15 @@ type lockSession struct {
 	tx   lockTx
 	wal  *wal.Appender
 	rec  wal.Record
+
+	// Partition-routed commit scratch, nil on the single-log layout: one
+	// appender and one record per partition log, plus the touched-
+	// partition and ticket lists of the current commit. All reused — the
+	// partitioned commit path allocates nothing in steady state.
+	apps    []*wal.Appender
+	precs   []wal.Record
+	touched []int
+	tickets []wal.Ticket
 }
 
 // access is one row access of the running attempt.
@@ -178,6 +197,34 @@ func (tx *lockTx) Update(row *storage.Row, mutate func(img []byte)) error {
 			// mode and the retire decision are new. On error the request
 			// is still a granted shared lock and the normal rollback
 			// releases it.
+			//
+			// A write the executor would retire anyway takes the fused
+			// UpgradeRetire path: promotion and retire-install happen in
+			// one entry-latch pass, and readers queued behind the upgrade
+			// are granted in that same critical section. The after-image
+			// is built latch-free here — the shared grant's image is an
+			// installed, immutable version, so cloning and mutating it
+			// before the call reads the same bytes the upgrade would have
+			// cloned, and no user callback ever runs under an entry
+			// latch. The retire decision (shouldRetire) depends only on
+			// declared-ops bookkeeping, so it can be taken up front.
+			if tx.shouldRetire() {
+				if tx.db.cfg.CaptureReads && a.readImage == nil {
+					a.readImage = bytes.Clone(a.req.Data)
+				}
+				img := bytes.Clone(a.req.Data)
+				mutate(img)
+				start := time.Now()
+				err := tx.db.Lock.UpgradeRetire(a.req, img)
+				tx.lockWait += time.Since(start)
+				if err != nil {
+					tx.db.Global.RecordPartConflict(row.PartitionID)
+					return err
+				}
+				a.mode = lock.EX
+				a.retired = true
+				return nil
+			}
 			start := time.Now()
 			err := tx.db.Lock.Upgrade(a.req)
 			tx.lockWait += time.Since(start)
@@ -193,10 +240,6 @@ func (tx *lockTx) Update(row *storage.Row, mutate func(img []byte)) error {
 				a.readImage = bytes.Clone(a.req.Data)
 			}
 			mutate(a.req.Data)
-			if tx.shouldRetire() {
-				tx.db.Lock.Retire(a.req)
-				a.retired = true
-			}
 			return nil
 		}
 		if a.retired {
@@ -434,10 +477,14 @@ func (s *lockSession) Run(fn TxnFunc) error {
 		}
 
 		// Commit point: log, apply inserts, release.
-		if rec := tx.commitRecord(); rec != nil {
-			if _, err := s.wal.Commit(rec); err != nil {
-				return fatalf("wal append: %v", err)
+		if s.apps == nil {
+			if rec := tx.commitRecord(); rec != nil {
+				if _, err := s.wal.Commit(rec); err != nil {
+					return fatalf("wal append: %v", err)
+				}
 			}
+		} else if err := s.commitPartitioned(tx); err != nil {
+			return err
 		}
 		for _, ins := range tx.inserts {
 			if _, err := ins.tbl.InsertRow(ins.key, ins.img); err != nil {
@@ -478,6 +525,70 @@ func (s *lockSession) semWait(tx *lockTx, execTime time.Duration) (time.Duration
 		}
 		lock.Backoff(i)
 	}
+}
+
+// commitPartitioned is the commit-point logging of a partitioned DB: the
+// attempt's writes are split by owning partition — updates carry their
+// partition on the row, inserts route through DB.PartitionOf — and one
+// commit record per touched partition is appended to that partition's
+// log. Records are submitted to every touched log before waiting on any,
+// so the partition group commits (and their fsyncs) overlap instead of
+// stacking. All scratch (per-partition records, touched list, tickets)
+// is session-owned and reused: zero steady-state allocations.
+//
+// A transaction whose writes span partitions commits one record per
+// partition with the same TxnID; each partition's log remains a
+// self-contained, prefix-consistent history of that partition's rows,
+// which is what makes partition-parallel replay race-free. Cross-
+// partition atomicity at the log level is the distributed follow-on's
+// problem (path-sensitive atomic commit), not this layer's.
+func (s *lockSession) commitPartitioned(tx *lockTx) error {
+	touched := s.touched[:0]
+	put := func(pid int, w wal.Write) {
+		rec := &s.precs[pid]
+		if len(rec.Writes) == 0 {
+			touched = append(touched, pid)
+			rec.TxnID = tx.t.ID
+		}
+		rec.Writes = append(rec.Writes, w)
+	}
+	for i := range tx.accesses {
+		a := &tx.accesses[i]
+		if a.mode == lock.EX {
+			put(a.row.PartitionID, wal.Write{
+				Table: a.row.Table.Schema.Name,
+				Key:   a.row.Key,
+				Image: a.req.Data,
+			})
+		}
+	}
+	for _, ins := range tx.inserts {
+		put(s.db.PartitionOf(ins.tbl, ins.key),
+			wal.Write{Table: ins.tbl.Schema.Name, Key: ins.key, Image: ins.img})
+	}
+	s.touched = touched
+	if len(touched) == 0 {
+		return nil
+	}
+	tickets := s.tickets[:0]
+	for _, pid := range touched {
+		tickets = append(tickets, s.apps[pid].Submit(&s.precs[pid]))
+	}
+	s.tickets = tickets
+	var firstErr error
+	for _, tk := range tickets {
+		if _, err := tk.Wait(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	for _, pid := range touched {
+		s.precs[pid].Writes = s.precs[pid].Writes[:0]
+	}
+	s.touched = touched[:0]
+	if firstErr != nil {
+		return fatalf("wal append: %v", firstErr)
+	}
+	return nil
 }
 
 // commitRecord builds the WAL record for the attempt in the session's

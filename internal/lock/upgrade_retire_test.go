@@ -1,0 +1,282 @@
+package lock
+
+import (
+	"bytes"
+	"testing"
+
+	"bamboo/internal/txn"
+)
+
+// afterImage clones the installed image r is reading and sets its first
+// byte — the latch-free after-image construction UpgradeRetire expects.
+func afterImage(r *Request, b byte) []byte {
+	img := bytes.Clone(r.Data)
+	img[0] = b
+	return img
+}
+
+// TestUpgradeRetireSoleReader covers the fused upgrade+retire on the
+// sole-holder fast path: the promotion, mutation and retire-install all
+// land in one critical section, the dirty image is immediately the
+// entry's newest version, and commit/abort behave exactly as after the
+// two-step Upgrade+Retire.
+func TestUpgradeRetireSoleReader(t *testing.T) {
+	for name, mk := range map[string]func() *Manager{
+		"bamboo": bambooMgr,
+		"dynts":  func() *Manager { return NewManager(Config{Variant: Bamboo, RetireReads: true, DynamicTS: true}) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			m := mk()
+			e := newEntry(7)
+			tx := newTxnTS(1, 1)
+			r := mustAcquire(t, m, tx, SH, e)
+			if err := m.UpgradeRetire(r, afterImage(r, 42)); err != nil {
+				t.Fatalf("upgrade-retire: %v", err)
+			}
+			if r.Mode != EX || !r.Retired() {
+				t.Fatalf("after upgrade-retire: mode=%s retired=%v", r.Mode, r.Retired())
+			}
+			if u := tx.Sem(); u != 0 {
+				t.Fatalf("sole-holder upgrade-retire took a commit dependency: sem=%d", u)
+			}
+			// The retire installed the mutated image as the newest (dirty)
+			// version.
+			if got := e.CurrentData()[0]; got != 42 {
+				t.Fatalf("retired write not installed: entry data = %d", got)
+			}
+			if err := e.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+			m.Release(r, false)
+			if got := e.CurrentData()[0]; got != 42 {
+				t.Fatalf("commit lost the installed write: %d", got)
+			}
+			if err := e.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestUpgradeRetireAbortRestores pins the abort path: the fused install
+// participates in the sequence-guarded restore exactly like a Retire'd
+// write.
+func TestUpgradeRetireAbortRestores(t *testing.T) {
+	m := bambooMgr()
+	e := newEntry(7)
+	tx := newTxnTS(1, 1)
+	r := mustAcquire(t, m, tx, SH, e)
+	if err := m.UpgradeRetire(r, afterImage(r, 42)); err != nil {
+		t.Fatal(err)
+	}
+	m.Release(r, true)
+	if got := e.CurrentData()[0]; got != 7 {
+		t.Fatalf("abort did not restore the pre-image: %d", got)
+	}
+	if err := e.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestUpgradeRetireDirtyReadable asserts the point of retiring in the
+// same critical section: a reader arriving after UpgradeRetire returns
+// observes the dirty image and commit-orders behind the writer.
+func TestUpgradeRetireDirtyReadable(t *testing.T) {
+	m := bambooMgr()
+	e := newEntry(7)
+	writer := newTxnTS(1, 1)
+	r := mustAcquire(t, m, writer, SH, e)
+	if err := m.UpgradeRetire(r, afterImage(r, 42)); err != nil {
+		t.Fatal(err)
+	}
+	reader := newTxnTS(2, 2)
+	rr := mustAcquire(t, m, reader, SH, e)
+	if rr.Data[0] != 42 || !rr.Dirty {
+		t.Fatalf("reader after upgrade-retire: data=%d dirty=%v", rr.Data[0], rr.Dirty)
+	}
+	if reader.Sem() != 1 {
+		t.Fatalf("dirty reader must commit-order behind the writer: sem=%d", reader.Sem())
+	}
+	m.Release(r, false)
+	if reader.Sem() != 0 {
+		t.Fatalf("writer release did not clear the reader's dependency: sem=%d", reader.Sem())
+	}
+	m.Release(rr, false)
+	if err := e.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestUpgradeRetireBehindOlderRetiree: with an older retired reader
+// present, the fused path keeps the upgraded writer's retired-list slot
+// (it is the youngest, so its old slot is its timestamp slot) and takes
+// the same commit dependency the two-step path would.
+func TestUpgradeRetireBehindOlderRetiree(t *testing.T) {
+	m := bambooMgr()
+	e := newEntry(7)
+	older := newTxnTS(1, 1)
+	or := mustAcquire(t, m, older, SH, e)
+	younger := newTxnTS(2, 2)
+	yr := mustAcquire(t, m, younger, SH, e)
+	if err := m.UpgradeRetire(yr, afterImage(yr, 9)); err != nil {
+		t.Fatalf("upgrade-retire behind older retiree: %v", err)
+	}
+	if younger.Sem() != 1 {
+		t.Fatalf("upgraded writer must commit-order behind the older retiree: sem=%d", younger.Sem())
+	}
+	if ret, own, _ := e.Snapshot(); ret != 2 || own != 0 {
+		t.Fatalf("retired=%d owners=%d after fused retire, want 2/0", ret, own)
+	}
+	if err := e.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	m.Release(or, false)
+	if younger.Sem() != 0 {
+		t.Fatalf("older release did not clear the writer's dependency: sem=%d", younger.Sem())
+	}
+	m.Release(yr, false)
+	if got := e.CurrentData()[0]; got != 9 {
+		t.Fatalf("committed upgraded write lost: %d", got)
+	}
+}
+
+// TestUpgradeRetireGrantsQueuedReader drives the contended fused path:
+// an upgrade blocked by a younger holder wounds it, and a reader that
+// queued behind the pending upgrade is granted by the same critical
+// section that installs the retired write — observing the dirty image
+// and commit-ordering behind the upgraded writer.
+func TestUpgradeRetireGrantsQueuedReader(t *testing.T) {
+	m := bambooMgr()
+	e := newEntry(7)
+	upgrader := newTxnTS(1, 1)
+	ur := mustAcquire(t, m, upgrader, SH, e)
+	blocker := newTxnTS(2, 2)
+	br := mustAcquire(t, m, blocker, SH, e)
+
+	upDone := make(chan error, 1)
+	go func() { upDone <- m.UpgradeRetire(ur, afterImage(ur, 42)) }()
+	// The upgrade wounds the younger holder and spins until it drains.
+	for i := 0; !blocker.Aborting(); i++ {
+		Backoff(i)
+	}
+
+	// A younger reader arriving now queues behind the pending upgrade.
+	reader := newTxnTS(3, 3)
+	type got struct {
+		r   *Request
+		err error
+	}
+	readDone := make(chan got, 1)
+	go func() {
+		r, err := m.Acquire(reader, SH, e)
+		readDone <- got{r, err}
+	}()
+	for i := 0; ; i++ {
+		if _, _, waiting := e.Snapshot(); waiting == 1 {
+			break
+		}
+		Backoff(i)
+	}
+
+	// Draining the wounded holder unblocks the upgrade; its completion
+	// must install the write AND grant the queued reader.
+	m.Release(br, true)
+	if err := <-upDone; err != nil {
+		t.Fatalf("upgrade-retire: %v", err)
+	}
+	g := <-readDone
+	if g.err != nil {
+		t.Fatalf("queued reader: %v", g.err)
+	}
+	if g.r.Data[0] != 42 || !g.r.Dirty {
+		t.Fatalf("queued reader sees data=%d dirty=%v, want the dirty 42", g.r.Data[0], g.r.Dirty)
+	}
+	if reader.Sem() != 1 {
+		t.Fatalf("queued reader must commit-order behind the writer: sem=%d", reader.Sem())
+	}
+	m.Release(ur, false)
+	m.Release(g.r, false)
+	if err := e.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestUpgradeRetireLatchPasses is the latch-pass gate of the
+// upgrade-aware retire ordering: the two-step Upgrade+Retire costs two
+// entry-latch critical sections, the fused UpgradeRetire exactly one.
+func TestUpgradeRetireLatchPasses(t *testing.T) {
+	count := 0
+	testHookLatchPass = func() { count++ }
+	defer func() { testHookLatchPass = nil }()
+
+	m := bambooMgr()
+	e := newEntry(7)
+
+	tx1 := newTxnTS(1, 1)
+	r1 := mustAcquire(t, m, tx1, SH, e)
+	count = 0
+	if err := m.Upgrade(r1); err != nil {
+		t.Fatal(err)
+	}
+	m.Retire(r1)
+	twoStep := count
+	m.Release(r1, false)
+
+	tx2 := newTxnTS(2, 2)
+	r2 := mustAcquire(t, m, tx2, SH, e)
+	count = 0
+	if err := m.UpgradeRetire(r2, afterImage(r2, 1)); err != nil {
+		t.Fatal(err)
+	}
+	fused := count
+	m.Release(r2, false)
+
+	if twoStep != 2 {
+		t.Fatalf("two-step upgrade+retire took %d latch passes, expected 2", twoStep)
+	}
+	if fused != 1 {
+		t.Fatalf("fused upgrade-retire took %d latch passes, want exactly 1", fused)
+	}
+}
+
+// TestUpgradeRetireAllocs asserts the fused path allocates exactly what
+// the declared-EX retire cycle does: the one private write-image clone.
+func TestUpgradeRetireAllocs(t *testing.T) {
+	m := bambooMgr()
+	e := newEntry(7)
+	tx := txn.New(1)
+	tx.SetTS(1)
+	var pool Pool
+	mutate := func(img []byte) { img[0]++ }
+
+	declared := testing.AllocsPerRun(200, func() {
+		r := pool.Get()
+		if err := m.AcquireInto(r, tx, EX, e); err != nil {
+			t.Fatal(err)
+		}
+		mutate(r.Data)
+		m.Retire(r)
+		m.Release(r, false)
+		pool.Put(r)
+	})
+	fused := testing.AllocsPerRun(200, func() {
+		r := pool.Get()
+		if err := m.AcquireInto(r, tx, SH, e); err != nil {
+			t.Fatal(err)
+		}
+		img := bytes.Clone(r.Data) // the caller-built after-image: the one allocation
+		mutate(img)
+		if err := m.UpgradeRetire(r, img); err != nil {
+			t.Fatal(err)
+		}
+		m.Release(r, false)
+		pool.Put(r)
+	})
+	t.Logf("declared EX+retire %.1f allocs, fused upgrade-retire %.1f allocs", declared, fused)
+	if fused > declared {
+		t.Fatalf("fused upgrade-retire allocates: %.1f vs %.1f declared", fused, declared)
+	}
+	if fused > 1 {
+		t.Fatalf("fused upgrade-retire cycle = %.1f allocs, want ≤1 (the image clone)", fused)
+	}
+}

@@ -197,6 +197,16 @@ type Report struct {
 	// (zero when not measured).
 	LoadTime time.Duration
 
+	// WAL durability telemetry for the run's DB, set by the bench
+	// harness from the log devices (zero when not measured): records and
+	// device write operations (what group commit amortizes), payload
+	// bytes, and fsync count/time (what a real device charges).
+	WALAppends  uint64
+	WALBatches  uint64
+	WALBytes    uint64
+	WALSyncs    uint64
+	WALSyncTime time.Duration
+
 	// Commit-latency distribution (lock wait + execution + commit wait),
 	// from the merged worker histograms.
 	LatencyMean time.Duration

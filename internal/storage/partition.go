@@ -1,6 +1,9 @@
 package storage
 
-import "sync/atomic"
+import (
+	"fmt"
+	"sync/atomic"
+)
 
 // Partitioner maps row keys to partition ids. Implementations must be
 // pure functions of the key: every key routes to exactly one partition in
@@ -73,3 +76,36 @@ func (p *Partition) Get(key uint64) *Row { return p.index.Get(key) }
 
 // Range iterates the partition's rows; see HashIndex.Range.
 func (p *Partition) Range(fn func(key uint64, r *Row) bool) { p.index.Range(fn) }
+
+// ApplyRecord applies one write of a decoded WAL commit record to this
+// partition during recovery: an existing row's image is replaced with the
+// logged after-image, a missing row (a replayed transactional insert) is
+// created and indexed here. t must be the partition's owning table and
+// must route key to this partition — replay hands each partition log's
+// records to the partition that produced them, which is what makes
+// partition-parallel replay race-free.
+//
+// ApplyRecord is a recovery-path operation: it assumes no concurrent
+// transaction processing on the partition (concurrent replay of OTHER
+// partitions is fine; partitions share no mutable state).
+func (p *Partition) ApplyRecord(t *Table, key uint64, img []byte) (*Row, error) {
+	if pid := t.part.Partition(key); pid != p.id {
+		return nil, fmt.Errorf("storage: replay of key %d into partition %d of table %s, but it routes to %d",
+			key, p.id, t.Schema.Name, pid)
+	}
+	if len(img) != t.Schema.RowSize() {
+		return nil, fmt.Errorf("storage: replay image size %d != schema size %d for table %s key %d",
+			len(img), t.Schema.RowSize(), t.Schema.Name, key)
+	}
+	// The logged image is the transaction's private after-image; clone it
+	// so the row owns its storage (the caller may reuse decode buffers).
+	cp := make([]byte, len(img))
+	copy(cp, img)
+	if r := p.index.Get(key); r != nil {
+		r.Entry.Init(cp)
+		return r, nil
+	}
+	// A replayed transactional insert: the normal insert path applies
+	// (routing was verified above, so it lands in this partition).
+	return t.InsertRow(key, cp)
+}

@@ -242,3 +242,67 @@ func TestSinglePartitionTableMatchesFlat(t *testing.T) {
 		t.Fatalf("PartitionID = %d", r.PartitionID)
 	}
 }
+
+// TestApplyRecord covers the recovery apply path: replaying an
+// after-image over an existing row replaces its image (with a private
+// copy — the caller may reuse decode buffers), replaying a write for a
+// missing row re-creates it in the partition, and misrouted keys or
+// wrong-sized images fail loudly.
+func TestApplyRecord(t *testing.T) {
+	tbl := NewPartitionedTable(testSchema(), 16, HashPartitioner{N: 4})
+	schema := tbl.Schema
+	r := tbl.MustInsertRow(3, nil)
+	pid := tbl.PartitionFor(3)
+	p := tbl.Partition(pid)
+
+	img := schema.NewRowImage()
+	schema.SetInt64(img, 0, 42)
+	applied, err := p.ApplyRecord(tbl, 3, img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied != r {
+		t.Fatal("apply over an existing row must reuse the row")
+	}
+	img[0] = 0xFF // mutate the source buffer: the row must own a copy
+	if got := schema.GetInt64(r.Entry.CurrentData(), 0); got != 42 {
+		t.Fatalf("applied image = %d, want 42 (buffer not copied?)", got)
+	}
+
+	// Missing row: re-created in this partition with the image.
+	key := uint64(0)
+	for k := uint64(100); ; k++ {
+		if tbl.PartitionFor(k) == pid {
+			key = k
+			break
+		}
+	}
+	img2 := schema.NewRowImage()
+	schema.SetInt64(img2, 0, 7)
+	fresh, err := p.ApplyRecord(tbl, key, img2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh.PartitionID != pid || tbl.Get(key) != fresh {
+		t.Fatalf("replayed insert not indexed: %+v", fresh)
+	}
+	if before := p.Rows(); before != 2 {
+		t.Fatalf("partition rows = %d, want 2", before)
+	}
+
+	// Misrouted key: rejected.
+	wrong := uint64(0)
+	for k := uint64(200); ; k++ {
+		if tbl.PartitionFor(k) != pid {
+			wrong = k
+			break
+		}
+	}
+	if _, err := p.ApplyRecord(tbl, wrong, schema.NewRowImage()); err == nil {
+		t.Fatal("misrouted replay accepted")
+	}
+	// Wrong image size: rejected.
+	if _, err := p.ApplyRecord(tbl, 3, make([]byte, schema.RowSize()+1)); err == nil {
+		t.Fatal("wrong-size replay image accepted")
+	}
+}

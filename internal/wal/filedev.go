@@ -1,0 +1,230 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// FsyncPolicy selects when a FileDevice forces its appends to stable
+// storage.
+type FsyncPolicy int
+
+const (
+	// FsyncNone never syncs: appends go to the OS page cache only. The
+	// data survives a process crash (the kernel has it) but not a power
+	// loss; the policy isolates the cost of the write path itself.
+	FsyncNone FsyncPolicy = iota
+	// FsyncBatch syncs once per device write operation — per record
+	// without group commit, per epoch batch with it. This is the durable
+	// configuration whose cost group commit exists to amortize.
+	FsyncBatch
+	// FsyncInterval syncs at most once per Interval, piggybacked on the
+	// next append after the interval elapses: bounded data loss at a
+	// bounded sync rate.
+	FsyncInterval
+)
+
+// String implements fmt.Stringer.
+func (p FsyncPolicy) String() string {
+	switch p {
+	case FsyncNone:
+		return "none"
+	case FsyncBatch:
+		return "batch"
+	case FsyncInterval:
+		return "interval"
+	default:
+		return fmt.Sprintf("fsync(%d)", int(p))
+	}
+}
+
+// ParseFsyncPolicy parses the String form (flag values).
+func ParseFsyncPolicy(s string) (FsyncPolicy, error) {
+	switch s {
+	case "none", "":
+		return FsyncNone, nil
+	case "batch":
+		return FsyncBatch, nil
+	case "interval":
+		return FsyncInterval, nil
+	default:
+		return 0, fmt.Errorf("wal: unknown fsync policy %q (want none, batch or interval)", s)
+	}
+}
+
+// FileDevice is a log device over one append-only file, framing records
+// exactly like WriterDevice (u32 length prefix + payload) so Replay reads
+// both. Each record (or batch) is written with a single Write call, which
+// means a crash leaves at most one torn frame — and only at the tail.
+//
+// The file is opened O_APPEND without truncation: a device pointed at an
+// existing log continues it. A log that may end in a torn frame must be
+// replayed (and, if it is to be appended to again, truncated to the last
+// complete frame) before reuse; Replay reports the torn tail's offset for
+// exactly that.
+type FileDevice struct {
+	policy   FsyncPolicy
+	interval time.Duration
+
+	mu       sync.Mutex
+	f        *os.File
+	scratch  []byte // frame assembly buffer, one Write syscall per batch
+	lsn      uint64
+	stats    DeviceStats
+	lastSync time.Time
+	closed   bool
+}
+
+// DefaultFsyncInterval is the FsyncInterval window used when none is
+// configured: without it a zero interval would make every append sync —
+// silently measuring the per-batch (worst-case) policy under the
+// bounded-loss policy's name.
+const DefaultFsyncInterval = time.Millisecond
+
+// OpenFileDevice opens (creating if needed, never truncating) path as a
+// log device with the given fsync policy. interval is only meaningful for
+// FsyncInterval (≤ 0 falls back to DefaultFsyncInterval).
+func OpenFileDevice(path string, policy FsyncPolicy, interval time.Duration) (*FileDevice, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: open log: %w", err)
+	}
+	if policy == FsyncInterval && interval <= 0 {
+		interval = DefaultFsyncInterval
+	}
+	return &FileDevice{f: f, policy: policy, interval: interval, lastSync: time.Now()}, nil
+}
+
+// PartitionLogPath returns the canonical file name of partition p's log
+// inside dir; writers (OpenPartitionDevices) and recovery agree on it.
+func PartitionLogPath(dir string, p int) string {
+	return filepath.Join(dir, fmt.Sprintf("wal-%03d.log", p))
+}
+
+// OpenPartitionDevices creates dir if needed and opens one FileDevice per
+// partition at the canonical paths. On any error the already-opened
+// devices are closed.
+func OpenPartitionDevices(dir string, n int, policy FsyncPolicy, interval time.Duration) ([]*FileDevice, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: create log dir: %w", err)
+	}
+	devs := make([]*FileDevice, n)
+	for p := range devs {
+		d, err := OpenFileDevice(PartitionLogPath(dir, p), policy, interval)
+		if err != nil {
+			for _, o := range devs[:p] {
+				o.Close()
+			}
+			return nil, err
+		}
+		devs[p] = d
+	}
+	return devs, nil
+}
+
+// Path returns the file the device appends to.
+func (d *FileDevice) Path() string { return d.f.Name() }
+
+// Append implements Device.
+func (d *FileDevice) Append(rec []byte) (uint64, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return 0, ErrClosed
+	}
+	d.scratch = appendFrame(d.scratch[:0], rec)
+	if _, err := d.f.Write(d.scratch); err != nil {
+		return 0, err
+	}
+	d.lsn++
+	d.stats.Appends++
+	d.stats.Batches++
+	d.stats.Bytes += uint64(len(rec))
+	if err := d.maybeSyncLocked(); err != nil {
+		return 0, err
+	}
+	return d.lsn, nil
+}
+
+// AppendBatch implements BatchDevice: every frame of the batch goes out
+// in one Write call and — under FsyncBatch — one fsync, which is the
+// whole point of group commit on a real device.
+func (d *FileDevice) AppendBatch(recs [][]byte) (uint64, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return 0, ErrClosed
+	}
+	d.scratch = d.scratch[:0]
+	for _, rec := range recs {
+		d.scratch = appendFrame(d.scratch, rec)
+		d.stats.Bytes += uint64(len(rec))
+	}
+	if _, err := d.f.Write(d.scratch); err != nil {
+		return 0, err
+	}
+	d.lsn += uint64(len(recs))
+	d.stats.Appends += uint64(len(recs))
+	d.stats.Batches++
+	if err := d.maybeSyncLocked(); err != nil {
+		return 0, err
+	}
+	return d.lsn, nil
+}
+
+func (d *FileDevice) maybeSyncLocked() error {
+	switch d.policy {
+	case FsyncBatch:
+	case FsyncInterval:
+		if time.Since(d.lastSync) < d.interval {
+			return nil
+		}
+	default:
+		return nil
+	}
+	start := time.Now()
+	err := d.f.Sync()
+	d.stats.Syncs++
+	d.stats.SyncTime += time.Since(start)
+	d.lastSync = time.Now()
+	return err
+}
+
+// Stats implements StatsDevice.
+func (d *FileDevice) Stats() DeviceStats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stats
+}
+
+// Close syncs (unless the policy is FsyncNone) and closes the file.
+// Appends after Close fail with ErrClosed.
+func (d *FileDevice) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return nil
+	}
+	d.closed = true
+	var syncErr error
+	if d.policy != FsyncNone {
+		start := time.Now()
+		syncErr = d.f.Sync()
+		d.stats.Syncs++
+		d.stats.SyncTime += time.Since(start)
+	}
+	if err := d.f.Close(); err != nil {
+		return err
+	}
+	return syncErr
+}
+
+// appendFrame appends the length-prefixed framing of rec onto buf.
+func appendFrame(buf, rec []byte) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(rec)))
+	return append(buf, rec...)
+}

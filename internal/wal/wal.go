@@ -62,6 +62,34 @@ type BatchDevice interface {
 // ErrClosed is returned by Commit after Close.
 var ErrClosed = errors.New("wal: log closed")
 
+// DeviceStats is the durability telemetry a device accumulates: how many
+// records landed, in how many device write operations (the quantity group
+// commit amortizes), how many payload bytes, and what the fsyncs cost.
+type DeviceStats struct {
+	Appends  uint64        // records appended
+	Batches  uint64        // device write operations (Append/AppendBatch calls)
+	Bytes    uint64        // payload bytes appended (excluding framing)
+	Syncs    uint64        // fsync operations issued
+	SyncTime time.Duration // total wall time spent inside fsync
+}
+
+// Add returns the element-wise sum of s and o.
+func (s DeviceStats) Add(o DeviceStats) DeviceStats {
+	return DeviceStats{
+		Appends:  s.Appends + o.Appends,
+		Batches:  s.Batches + o.Batches,
+		Bytes:    s.Bytes + o.Bytes,
+		Syncs:    s.Syncs + o.Syncs,
+		SyncTime: s.SyncTime + o.SyncTime,
+	}
+}
+
+// StatsDevice is optionally implemented by devices that report
+// DeviceStats; the benchmark harness surfaces them per point.
+type StatsDevice interface {
+	Stats() DeviceStats
+}
+
 // Log serializes commit records and appends them to a device, either
 // per-record or through an epoch-based group committer. It is safe for
 // concurrent use; serialization happens outside the device lock.
@@ -104,6 +132,18 @@ func (l *Log) Commit(rec *Record) (uint64, error) {
 	return l.append(Encode(rec))
 }
 
+// submit registers enc without waiting for durability; Ticket.Wait blocks
+// until the epoch containing it is flushed. Per-record logs append (and
+// are durable) inside submit itself, so Wait is immediate.
+func (l *Log) submit(enc []byte) Ticket {
+	if l.gc != nil {
+		epoch, err := l.gc.submit(enc)
+		return Ticket{gc: l.gc, epoch: epoch, err: err}
+	}
+	lsn, err := l.dev.Append(enc)
+	return Ticket{lsn: lsn, err: err}
+}
+
 // Close stops the group-commit flusher after draining pending records.
 // It is a no-op for per-record logs. Commits issued after Close fail with
 // ErrClosed.
@@ -141,6 +181,39 @@ func (a *Appender) Commit(rec *Record) (uint64, error) {
 	return a.l.append(a.buf)
 }
 
+// Submit encodes rec and registers it for commit without waiting for
+// durability; the returned Ticket's Wait blocks until the record is. It
+// exists so a transaction whose writes span several partition logs can
+// submit to all of them and overlap their group-commit flushes instead of
+// paying one full epoch wait per log.
+//
+// At most one Ticket may be outstanding per Appender: the encode buffer
+// is retained by the flusher until the covering flush completes, so the
+// caller must Wait before the next Submit or Commit on this appender.
+func (a *Appender) Submit(rec *Record) Ticket {
+	a.buf = AppendRecord(a.buf[:0], rec)
+	return a.l.submit(a.buf)
+}
+
+// Ticket is a pending submission. The zero value Waits as an immediate
+// (lsn 0, nil) result, so a fixed-size ticket scratch array can be waited
+// on wholesale.
+type Ticket struct {
+	gc    *groupCommitter // nil: lsn/err already final
+	epoch uint64
+	lsn   uint64
+	err   error
+}
+
+// Wait blocks until the submitted record is durable, returning its LSN
+// (group commit: the last LSN of the covering batch).
+func (t Ticket) Wait() (uint64, error) {
+	if t.gc == nil || t.err != nil {
+		return t.lsn, t.err
+	}
+	return t.gc.waitEpoch(t.epoch)
+}
+
 // groupCommitter implements epoch-based group commit: committers append
 // their encoded record to the pending batch of the open epoch and sleep
 // until the flusher reports that epoch durable. The flusher closes an
@@ -173,6 +246,16 @@ func newGroupCommitter(dev Device, interval time.Duration) *groupCommitter {
 // commit registers enc in the open epoch and blocks until that epoch is
 // durable. enc must remain unmodified until commit returns.
 func (g *groupCommitter) commit(enc []byte) (uint64, error) {
+	e, err := g.submit(enc)
+	if err != nil {
+		return 0, err
+	}
+	return g.waitEpoch(e)
+}
+
+// submit registers enc in the open epoch and returns that epoch number;
+// enc must remain unmodified until waitEpoch(epoch) returns.
+func (g *groupCommitter) submit(enc []byte) (uint64, error) {
 	g.mu.Lock()
 	if g.closed {
 		g.mu.Unlock()
@@ -183,12 +266,18 @@ func (g *groupCommitter) commit(enc []byte) (uint64, error) {
 	if len(g.pending) == 1 {
 		g.work.Signal()
 	}
-	// Wait until the flusher has consumed our epoch even when a sticky
-	// error from an earlier epoch is already set: returning while enc is
-	// still queued would let the caller reuse its encode buffer under the
-	// flusher's feet. durable advances past e on every flush (success or
-	// failure), so this always terminates; the flusher never exits with
-	// records still pending.
+	g.mu.Unlock()
+	return e, nil
+}
+
+// waitEpoch blocks until epoch e is durable. It waits even when a sticky
+// error from an earlier epoch is already set: returning while a submitted
+// record is still queued would let the caller reuse its encode buffer
+// under the flusher's feet. durable advances past e on every flush
+// (success or failure), so this always terminates; the flusher never
+// exits with records still pending.
+func (g *groupCommitter) waitEpoch(e uint64) (uint64, error) {
+	g.mu.Lock()
 	for g.durable < e && !g.done {
 		g.flushed.Wait()
 	}
@@ -296,34 +385,53 @@ func AppendRecord(buf []byte, rec *Record) []byte {
 	return buf
 }
 
-// ErrCorrupt is returned by Decode for malformed records.
+// ErrCorrupt is returned by Decode for structurally malformed records
+// (trailing bytes, write counts that cannot fit the buffer): content that
+// no torn write could have produced.
 var ErrCorrupt = errors.New("wal: corrupt record")
 
-// Decode parses a serialized record.
+// ErrTornRecord is returned by Decode when the buffer ends before the
+// record's declared content — the shape a crash mid-append leaves behind.
+// Recovery treats a torn record at the log tail as the end of the log;
+// anywhere else it is corruption.
+var ErrTornRecord = errors.New("wal: torn record")
+
+// Decode parses a serialized record. All length arithmetic is done in
+// uint64 so a hostile length prefix cannot overflow into a short bounds
+// check and misparse (or panic on) the remainder of the buffer.
 func Decode(buf []byte) (*Record, error) {
-	if len(buf) < 12 {
-		return nil, ErrCorrupt
+	n := uint64(len(buf))
+	if n < 12 {
+		return nil, fmt.Errorf("%w: %d bytes, header needs 12", ErrTornRecord, n)
 	}
 	rec := &Record{TxnID: binary.LittleEndian.Uint64(buf)}
 	nw := binary.LittleEndian.Uint32(buf[8:])
-	off := 12
+	// A count past any plausible transaction is a garbage length prefix,
+	// not a truncation; reject it as corruption outright. (Truncation
+	// safety does not depend on this cap — every loop iteration below
+	// consumes ≥14 bytes or returns ErrTornRecord, so iterations are
+	// bounded by the buffer size regardless of the claimed count.)
+	if nw > MaxRecordWrites {
+		return nil, fmt.Errorf("%w: write count %d overflows the %d cap", ErrCorrupt, nw, MaxRecordWrites)
+	}
+	off := uint64(12)
 	for i := uint32(0); i < nw; i++ {
-		if off+2 > len(buf) {
-			return nil, ErrCorrupt
+		if 2 > n-off {
+			return nil, fmt.Errorf("%w: write %d of %d truncated", ErrTornRecord, i, nw)
 		}
-		tl := int(binary.LittleEndian.Uint16(buf[off:]))
+		tl := uint64(binary.LittleEndian.Uint16(buf[off:]))
 		off += 2
-		if off+tl+12 > len(buf) {
-			return nil, ErrCorrupt
+		if tl > n-off || 12 > n-off-tl {
+			return nil, fmt.Errorf("%w: write %d of %d truncated", ErrTornRecord, i, nw)
 		}
 		table := string(buf[off : off+tl])
 		off += tl
 		key := binary.LittleEndian.Uint64(buf[off:])
 		off += 8
-		il := int(binary.LittleEndian.Uint32(buf[off:]))
+		il := uint64(binary.LittleEndian.Uint32(buf[off:]))
 		off += 4
-		if off+il > len(buf) {
-			return nil, ErrCorrupt
+		if il > n-off {
+			return nil, fmt.Errorf("%w: write %d image needs %d bytes, %d left", ErrTornRecord, i, il, n-off)
 		}
 		var img []byte
 		if il > 0 {
@@ -333,11 +441,15 @@ func Decode(buf []byte) (*Record, error) {
 		off += il
 		rec.Writes = append(rec.Writes, Write{Table: table, Key: key, Image: img})
 	}
-	if off != len(buf) {
-		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(buf)-off)
+	if off != n {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, n-off)
 	}
 	return rec, nil
 }
+
+// MaxRecordWrites caps the per-record write count Decode accepts; counts
+// above it are length-prefix garbage (ErrCorrupt), not truncations.
+const MaxRecordWrites = 1 << 24
 
 // MemDevice is an in-memory log device. With record=false it only counts
 // appends (the benchmark configuration: pay serialization cost, keep no
@@ -410,6 +522,13 @@ func (d *MemDevice) Batches() uint64 {
 	return d.batches
 }
 
+// Stats implements StatsDevice. A memory device never syncs.
+func (d *MemDevice) Stats() DeviceStats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return DeviceStats{Appends: d.lsn, Batches: d.batches, Bytes: d.bytes}
+}
+
 // Records returns decoded copies of all retained records.
 func (d *MemDevice) Records() ([]*Record, error) {
 	d.mu.Lock()
@@ -427,9 +546,11 @@ func (d *MemDevice) Records() ([]*Record, error) {
 
 // WriterDevice appends length-prefixed records to an io.Writer.
 type WriterDevice struct {
-	mu  sync.Mutex
-	w   io.Writer
-	lsn uint64
+	mu      sync.Mutex
+	w       io.Writer
+	lsn     uint64
+	bytes   uint64
+	batches uint64
 }
 
 // NewWriterDevice wraps w as a log device.
@@ -439,6 +560,7 @@ func NewWriterDevice(w io.Writer) *WriterDevice { return &WriterDevice{w: w} }
 func (d *WriterDevice) Append(rec []byte) (uint64, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	d.batches++
 	return d.appendLocked(rec)
 }
 
@@ -446,6 +568,7 @@ func (d *WriterDevice) Append(rec []byte) (uint64, error) {
 func (d *WriterDevice) AppendBatch(recs [][]byte) (uint64, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	d.batches++
 	var lsn uint64
 	for _, rec := range recs {
 		l, err := d.appendLocked(rec)
@@ -455,6 +578,13 @@ func (d *WriterDevice) AppendBatch(recs [][]byte) (uint64, error) {
 		lsn = l
 	}
 	return lsn, nil
+}
+
+// Stats implements StatsDevice. An io.Writer cannot be synced.
+func (d *WriterDevice) Stats() DeviceStats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return DeviceStats{Appends: d.lsn, Batches: d.batches, Bytes: d.bytes}
 }
 
 func (d *WriterDevice) appendLocked(rec []byte) (uint64, error) {
@@ -467,6 +597,7 @@ func (d *WriterDevice) appendLocked(rec []byte) (uint64, error) {
 		return 0, err
 	}
 	d.lsn++
+	d.bytes += uint64(len(rec))
 	return d.lsn, nil
 }
 
