@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Storage-lifecycle soak: repeated SIGKILL/recover cycles against ONE
+# persistent WAL + checkpoint state with truncation on. Every cycle the
+# survivor's logs and snapshots are replayed (crashtest run mode resumes
+# before serving), killed again at a varying point, and verified:
+# conservation oracle intact, on-disk log inside its byte budget. The
+# per-cycle output accumulates in $SOAK_REPORT for the CI artifact.
+#
+#   go build -o crashtest ./cmd/crashtest
+#   SOAK_MINUTES=10 ci/soak.sh
+set -euo pipefail
+
+MINUTES="${SOAK_MINUTES:-10}"
+BASE="${TMPDIR_BASE:-${RUNNER_TEMP:-/tmp}}/soak"
+WAL="$BASE/wal"
+CKPT="$BASE/ckpt"
+REPORT="${SOAK_REPORT:-soak-report.txt}"
+CT="${CRASHTEST:-./crashtest}"
+rm -rf "$BASE"
+mkdir -p "$WAL" "$CKPT"
+: > "$REPORT"
+
+deadline=$(($(date +%s) + MINUTES * 60))
+cycle=0
+while [ "$(date +%s)" -lt "$deadline" ]; do
+  cycle=$((cycle + 1))
+  "$CT" -mode run -wal "$WAL" -checkpoint-dir "$CKPT" \
+    -checkpoint-interval 100ms -segment-bytes 262144 -truncate \
+    -partitions 4 -threads 4 -fsync batch > "$BASE/run.log" 2>&1 &
+  pid=$!
+  for _ in $(seq 1 200); do
+    grep -q READY "$BASE/run.log" 2>/dev/null && break
+    sleep 0.1
+  done
+  grep -q READY "$BASE/run.log" \
+    || { echo "cycle $cycle: runner never became ready" | tee -a "$REPORT"; cat "$BASE/run.log"; exit 1; }
+  # Vary the kill point so cycles die before, during and long after
+  # checkpoints and truncations.
+  sleep $(((cycle % 5) + 2))
+  kill -9 "$pid" 2>/dev/null || true
+  wait "$pid" || true
+  {
+    echo "=== cycle $cycle ($(date -u +%H:%M:%SZ)) ==="
+    "$CT" -mode recover -wal "$WAL" -checkpoint-dir "$CKPT" -partitions 4 \
+      -min-records 1 -max-wal-bytes 16000000
+    du -sb "$WAL" "$CKPT"
+  } | tee -a "$REPORT"
+done
+
+echo "soak complete: $cycle kill/recover cycles in ${MINUTES}m" | tee -a "$REPORT"
+[ "$cycle" -ge 5 ] || { echo "fewer than 5 cycles completed"; exit 1; }

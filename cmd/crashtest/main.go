@@ -24,11 +24,24 @@
 //     landed before any commit means the harness misfired);
 //   - every lock entry is drained (replay bypasses the lock table).
 //
+// Storage lifecycle: -checkpoint-dir enables fuzzy checkpoints (and the
+// segmented WAL layout); -truncate lets the checkpointer unlink log
+// segments a durable snapshot covers. run mode replays any existing state
+// before serving, so a kill→run→kill soak keeps the conservation oracle
+// valid across cycles. -mode flip corrupts one payload byte of the last
+// complete frame in partition 0's newest log file — the bit-rot probe —
+// and recover -expect-corrupt then requires replay to fail with a
+// corruption error rather than silently truncate. recover's
+// -max-replay-bytes bounds the applied suffix (proof checkpoints bound
+// recovery work) and -max-wal-bytes bounds the on-disk log (proof
+// truncation reclaims space).
+//
 // Both modes must agree on -partitions and -rows: they define the
 // deterministic snapshot the log was written over.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -42,7 +55,7 @@ import (
 
 func main() {
 	var (
-		mode       = flag.String("mode", "", "run | recover")
+		mode       = flag.String("mode", "", "run | recover | flip")
 		walDir     = flag.String("wal", "", "WAL directory (one log file per partition)")
 		partitions = flag.Int("partitions", 4, "storage partition count")
 		rows       = flag.Int("rows", 1024, "accounts in the transfer table")
@@ -51,6 +64,18 @@ func main() {
 		groupC     = flag.Bool("group-commit", true, "use per-partition group commit (run mode)")
 		fsync      = flag.String("fsync", "batch", "fsync policy: none | batch | interval (run mode)")
 		minRecords = flag.Int("min-records", 1, "fail recovery if fewer commit records replay")
+
+		ckptDir      = flag.String("checkpoint-dir", "", "snapshot directory; non-empty enables checkpoints + segmented WAL")
+		ckptInterval = flag.Duration("checkpoint-interval", 250*time.Millisecond, "background checkpoint interval (run mode)")
+		segBytes     = flag.Int64("segment-bytes", 256<<10, "WAL segment rotation threshold (run mode, checkpoints on)")
+		maxLogBytes  = flag.Int64("max-log-bytes", 0, "extra checkpoint trigger: live log bytes per partition (run mode)")
+		truncate     = flag.Bool("truncate", false, "unlink checkpoint-covered log segments (run mode)")
+		keep         = flag.Int("keep", 2, "snapshots to retain per partition (run mode)")
+
+		expectCorrupt  = flag.Bool("expect-corrupt", false, "recovery must FAIL with a corruption error (after -mode flip)")
+		maxReplayBytes = flag.Int64("max-replay-bytes", 0, "fail recovery if more applied log bytes replay")
+		maxWALBytes    = flag.Int64("max-wal-bytes", 0, "fail recovery if the WAL directory holds more bytes")
+		minCkpts       = flag.Int("min-checkpoints", 0, "fail recovery if fewer snapshots restore (proof a checkpoint was taken)")
 	)
 	flag.Parse()
 	if *walDir == "" {
@@ -58,11 +83,19 @@ func main() {
 	}
 	switch *mode {
 	case "run":
-		runMode(*walDir, *partitions, *rows, *threads, *duration, *groupC, *fsync)
+		runMode(runConfig{
+			dir: *walDir, parts: *partitions, rows: *rows, threads: *threads,
+			duration: *duration, gc: *groupC, fsync: *fsync,
+			ckptDir: *ckptDir, ckptInterval: *ckptInterval, segBytes: *segBytes,
+			maxLogBytes: *maxLogBytes, truncate: *truncate, keep: *keep,
+		})
 	case "recover":
-		recoverMode(*walDir, *partitions, *rows, *minRecords)
+		recoverMode(*walDir, *ckptDir, *partitions, *rows, *minRecords, *minCkpts,
+			*expectCorrupt, *maxReplayBytes, *maxWALBytes)
+	case "flip":
+		flipMode(*walDir)
 	default:
-		fatal("-mode must be run or recover")
+		fatal("-mode must be run, recover, or flip")
 	}
 }
 
@@ -109,23 +142,62 @@ func keysByPartition(tbl *storage.Table, parts, rows int) [][]uint64 {
 	return per
 }
 
-func runMode(dir string, parts, rows, threads int, d time.Duration, gc bool, fsyncName string) {
-	policy, err := wal.ParseFsyncPolicy(fsyncName)
+type runConfig struct {
+	dir          string
+	parts, rows  int
+	threads      int
+	duration     time.Duration
+	gc           bool
+	fsync        string
+	ckptDir      string
+	ckptInterval time.Duration
+	segBytes     int64
+	maxLogBytes  int64
+	truncate     bool
+	keep         int
+}
+
+func runMode(rc runConfig) {
+	policy, err := wal.ParseFsyncPolicy(rc.fsync)
 	if err != nil {
 		fatal("%v", err)
 	}
 	cfg := core.Bamboo()
-	cfg.Partitions = parts
-	cfg.WALDir = dir
+	cfg.Partitions = rc.parts
+	cfg.WALDir = rc.dir
 	cfg.WALFsync = policy
-	cfg.GroupCommit = gc
-	if gc {
+	cfg.GroupCommit = rc.gc
+	if rc.gc {
 		cfg.GroupCommitInterval = 200 * time.Microsecond
 	}
+	if rc.ckptDir != "" {
+		cfg.Checkpoint = core.CheckpointConfig{
+			Dir:          rc.ckptDir,
+			Interval:     rc.ckptInterval,
+			MaxLogBytes:  rc.maxLogBytes,
+			SegmentBytes: rc.segBytes,
+			Truncate:     rc.truncate,
+			Keep:         rc.keep,
+		}
+	}
 	db := core.NewDB(cfg)
-	tbl := load(db, rows)
-	per := keysByPartition(tbl, parts, rows)
+	tbl := load(db, rc.rows)
+	per := keysByPartition(tbl, rc.parts, rc.rows)
 	schema := tbl.Schema
+
+	// Resume over whatever a previous cycle left behind (logs and
+	// snapshots) BEFORE serving: new after-images are absolute values, so
+	// committing against un-recovered state would break the conservation
+	// oracle for every later replay. Only after the catalog is current is
+	// the checkpointer safe to start — a snapshot of half-recovered state,
+	// plus truncation, would discard committed records.
+	st, err := db.ReplayDir(rc.dir, true)
+	if err != nil {
+		fatal("resume replay: %v", err)
+	}
+	db.StartCheckpointer()
+	fmt.Printf("resumed: %d records, %d checkpoints (%d rows), %d bad snapshots\n",
+		st.Records, st.Checkpoints, st.CheckpointRows, st.CheckpointsBad)
 
 	gen := func(worker, seq int) core.TxnFunc {
 		rng := rand.New(rand.NewSource(int64(worker)*1e9 + int64(seq)))
@@ -133,7 +205,7 @@ func runMode(dir string, parts, rows, threads int, d time.Duration, gc bool, fsy
 		// and idle logs alike.
 		pid := 0
 		if rng.Float64() > 0.5 {
-			pid = rng.Intn(parts)
+			pid = rng.Intn(rc.parts)
 		}
 		keys := per[pid]
 		i := rng.Intn(len(keys))
@@ -159,18 +231,81 @@ func runMode(dir string, parts, rows, threads int, d time.Duration, gc bool, fsy
 	// the SIGKILL always lands inside transaction processing.
 	fmt.Println("READY")
 	os.Stdout.Sync()
-	res := core.RunFor(core.NewLockEngine(db), threads, d, gen)
+	res := core.RunFor(core.NewLockEngine(db), rc.threads, rc.duration, gen)
 	if res.Err != nil {
 		fatal("run: %v", res.Err)
 	}
 	// Only reached on a clean timeout (no kill): close cleanly.
+	cst := db.CheckpointStats()
 	if err := db.Close(); err != nil {
 		fatal("close: %v", err)
 	}
-	fmt.Printf("clean exit: %d commits\n", res.Report.Commits)
+	fmt.Printf("clean exit: %d commits, %d checkpoints, %d truncations (%d bytes reclaimed)\n",
+		res.Report.Commits, cst.Checkpoints, cst.Truncations, cst.TruncatedBytes)
 }
 
-func recoverMode(dir string, parts, rows, minRecords int) {
+// flipMode corrupts one payload byte of the LAST complete frame in
+// partition 0's newest log file — a committed, CRC-covered record, not a
+// torn tail. Replay must refuse the log with a corruption error; treating
+// it as a torn tail would silently drop a committed transaction.
+func flipMode(dir string) {
+	segs, err := wal.ListSegments(dir, 0)
+	if err != nil {
+		fatal("list segments: %v", err)
+	}
+	path := wal.PartitionLogPath(dir, 0)
+	if len(segs) > 0 {
+		path = segs[len(segs)-1].Path
+	}
+	bounds, _, err := wal.FrameBounds(path)
+	if err != nil {
+		fatal("frame bounds: %v", err)
+	}
+	if len(bounds) == 0 {
+		fatal("no complete frame to corrupt in %s", path)
+	}
+	last := bounds[len(bounds)-1]
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fatal("read: %v", err)
+	}
+	off := last[1] - 1 // final payload byte of the final complete frame
+	data[off] ^= 0x40
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fatal("write: %v", err)
+	}
+	fmt.Printf("flipped bit at offset %d of %s (frame %d of %d)\n",
+		off, path, len(bounds), len(bounds))
+}
+
+func walDirBytes(dir string) int64 {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		fatal("read wal dir: %v", err)
+	}
+	var total int64
+	for _, e := range entries {
+		info, err := e.Info()
+		if err != nil {
+			fatal("stat %s: %v", e.Name(), err)
+		}
+		if !info.IsDir() {
+			total += info.Size()
+		}
+	}
+	return total
+}
+
+func recoverMode(dir, ckptDir string, parts, rows, minRecords, minCkpts int,
+	expectCorrupt bool, maxReplayBytes, maxWALBytes int64) {
+	if maxWALBytes > 0 {
+		if got := walDirBytes(dir); got > maxWALBytes {
+			fatal("WAL directory holds %d bytes, budget %d — truncation is not keeping up", got, maxWALBytes)
+		} else {
+			fmt.Printf("WAL directory: %d bytes (budget %d)\n", got, maxWALBytes)
+		}
+	}
+
 	cfg := core.Bamboo()
 	cfg.Partitions = parts
 	db := core.NewDB(cfg)
@@ -178,15 +313,35 @@ func recoverMode(dir string, parts, rows, minRecords int) {
 	tbl := load(db, rows)
 
 	start := time.Now()
-	st, err := db.ReplayDir(dir, true)
+	st, err := db.ReplayDirCheckpointed(dir, ckptDir, true)
+	if expectCorrupt {
+		if err == nil {
+			fatal("replay of a bit-flipped log succeeded (stats %+v); corruption went undetected", st)
+		}
+		if !errors.Is(err, wal.ErrCorrupt) && !errors.Is(err, storage.ErrSnapshotCorrupt) {
+			fatal("replay failed, but not as corruption: %v", err)
+		}
+		fmt.Printf("CORRUPTION DETECTED (as required): %v\n", err)
+		return
+	}
 	if err != nil {
 		fatal("replay: %v", err)
 	}
-	fmt.Printf("replayed %d logs: %d records, %d writes, %d torn tails, %d bytes in %v\n",
+	fmt.Printf("replayed %d logs: %d records, %d writes, %d torn tails, %d applied bytes in %v\n",
 		st.Logs, st.Records, st.Writes, st.Torn, st.Bytes, time.Since(start).Round(time.Millisecond))
+	if ckptDir != "" {
+		fmt.Printf("checkpoints: %d restored (%d rows), %d rejected; skipped %d records + %d whole segments\n",
+			st.Checkpoints, st.CheckpointRows, st.CheckpointsBad, st.Skipped, st.SkippedSegments)
+	}
 	if st.Records < minRecords {
 		fatal("only %d commit records replayed (want ≥ %d); the kill landed before the workload committed",
 			st.Records, minRecords)
+	}
+	if maxReplayBytes > 0 && st.Bytes > maxReplayBytes {
+		fatal("replay applied %d log bytes, budget %d — checkpoints are not bounding recovery", st.Bytes, maxReplayBytes)
+	}
+	if st.Checkpoints < minCkpts {
+		fatal("only %d snapshots restored (want ≥ %d); the checkpointer never produced one", st.Checkpoints, minCkpts)
 	}
 
 	schema := tbl.Schema

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"time"
@@ -260,6 +261,10 @@ func runPointOnce(s Scale, b engineBuilder, interactive bool,
 	if err != nil {
 		panic(fmt.Sprintf("bench: load: %v", err))
 	}
+	// Checkpoint-enabled builders measure the lifecycle's cost during the
+	// run, so the background loop starts only once the base load is in
+	// (the same ordering recovery requires). No-op otherwise.
+	db.StartCheckpointer()
 	eng := e
 	if interactive {
 		eng = rpcsim.New(e, rpcsim.Config{RTT: s.RTT})
@@ -286,6 +291,12 @@ func runPointOnce(s Scale, b engineBuilder, interactive bool,
 	res.Report.WALBytes = ws.Bytes
 	res.Report.WALSyncs = ws.Syncs
 	res.Report.WALSyncTime = ws.SyncTime
+	cs := db.CheckpointStats()
+	res.Report.CheckpointCount = cs.Checkpoints
+	res.Report.CheckpointTime = cs.Time
+	if cs.Checkpoints > 0 {
+		res.Report.LogBytesLive = db.LogLiveBytes()
+	}
 	return res.Report
 }
 
@@ -772,7 +783,7 @@ func DurabilitySweep(s Scale) []Row {
 	cfg.Rows = s.Rows
 	cfg.Theta = 0.6
 
-	mk := func(name string, gc bool, policy wal.FsyncPolicy, interval time.Duration) engineBuilder {
+	mk := func(name string, gc bool, policy wal.FsyncPolicy, interval time.Duration, ckpt bool) engineBuilder {
 		return engineBuilder{name: name, make: func(partitions int) (core.Engine, *core.DB, func()) {
 			dir, err := os.MkdirTemp("", "bamboo-durability-")
 			if err != nil {
@@ -793,6 +804,20 @@ func DurabilitySweep(s Scale) []Row {
 			c.WALDir = dir
 			c.WALFsync = policy
 			c.WALFsyncInterval = interval
+			if ckpt {
+				// The full lifecycle: a tight interval so several fuzzy
+				// snapshots land inside even a quick-scale point, small
+				// segments so truncation has boundaries to cut at, and
+				// truncation on — this point's checkpoint_ns and
+				// log_bytes_live quantify what keeping the log bounded
+				// costs over plain fsync=group.
+				c.Checkpoint = core.CheckpointConfig{
+					Dir:          filepath.Join(dir, "ckpt"),
+					Interval:     100 * time.Millisecond,
+					SegmentBytes: 1 << 20,
+					Truncate:     true,
+				}
+			}
 			db := core.NewDB(c)
 			return core.NewLockEngine(db), db, func() {
 				db.Close()
@@ -801,10 +826,11 @@ func DurabilitySweep(s Scale) []Row {
 		}}
 	}
 	builders := []engineBuilder{
-		mk("fsync=commit", false, wal.FsyncBatch, 0),
-		mk("fsync=group", true, wal.FsyncBatch, 0),
-		mk("fsync=interval", false, wal.FsyncInterval, time.Millisecond),
-		mk("fsync=none", false, wal.FsyncNone, 0),
+		mk("fsync=commit", false, wal.FsyncBatch, 0, false),
+		mk("fsync=group", true, wal.FsyncBatch, 0, false),
+		mk("fsync=group+ckpt", true, wal.FsyncBatch, 0, true),
+		mk("fsync=interval", false, wal.FsyncInterval, time.Millisecond, false),
+		mk("fsync=none", false, wal.FsyncNone, 0, false),
 	}
 	ladder := []int{1, 2, 4}
 	if s.Partitions > 0 {

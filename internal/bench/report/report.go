@@ -108,6 +108,14 @@ type Point struct {
 	WALSyncs   int64 `json:"wal_syncs,omitempty"`
 	FsyncNS    int64 `json:"fsync_ns,omitempty"`
 
+	// Storage-lifecycle telemetry (additive + omitempty, absent when
+	// checkpoints are off): fuzzy snapshots written, their cumulative
+	// capture+write nanoseconds, and the live WAL bytes left on disk at
+	// the end of the run — what the truncation policy bounds.
+	Checkpoints  int64 `json:"checkpoints,omitempty"`
+	CheckpointNS int64 `json:"checkpoint_ns,omitempty"`
+	LogBytesLive int64 `json:"log_bytes_live,omitempty"`
+
 	ElapsedNS int64 `json:"elapsed_ns"`
 }
 
@@ -202,6 +210,9 @@ func PointFrom(x string, r stats.Report) Point {
 		WALBytes:           int64(r.WALBytes),
 		WALSyncs:           int64(r.WALSyncs),
 		FsyncNS:            int64(r.WALSyncTime),
+		Checkpoints:        int64(r.CheckpointCount),
+		CheckpointNS:       int64(r.CheckpointTime),
+		LogBytesLive:       r.LogBytesLive,
 		ElapsedNS:          int64(r.Elapsed),
 	}
 }

@@ -1,0 +1,287 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"bamboo/internal/storage"
+)
+
+// CheckpointConfig enables the storage lifecycle: a background
+// checkpointer that snapshots each partition's committed rows without
+// stopping writers, and the log-truncation policy that keeps the WAL
+// bounded once checkpoints make its prefix redundant.
+//
+// Checkpoints require WALDir (there is nothing to truncate, and no
+// durable LSN to stamp, without file-backed logs) and switch the WAL to
+// the segmented file layout. They cover the lock-engine commit path
+// (Bamboo and the 2PL baselines), whose commit window coordinates with
+// the checkpointer through the DB's checkpoint gate; the OCC and IC3
+// engines log through DB.Log directly and are not checkpoint-safe.
+type CheckpointConfig struct {
+	// Dir is where snapshot files live; non-empty enables checkpointing.
+	Dir string
+	// Interval is the per-partition time trigger (default 1s).
+	Interval time.Duration
+	// MaxLogBytes additionally triggers a checkpoint whenever a
+	// partition's live log exceeds it (0 = time trigger only).
+	MaxLogBytes int64
+	// SegmentBytes is the WAL segment rotation threshold (0 = the
+	// wal.DefaultSegmentBytes default). Truncation reclaims whole
+	// segments, so this bounds both truncation granularity and how much
+	// already-checkpointed log can linger.
+	SegmentBytes int64
+	// Truncate unlinks log segments a durable checkpoint has made
+	// redundant. The cut is the second-newest retained snapshot's LSN,
+	// so the newest checkpoint being corrupt still leaves a previous
+	// snapshot plus the full log suffix it needs.
+	Truncate bool
+	// Keep is how many snapshots per partition to retain (default 2).
+	Keep int
+}
+
+// Enabled reports whether checkpointing is configured.
+func (c CheckpointConfig) Enabled() bool { return c.Dir != "" }
+
+// DefaultCheckpointInterval is used when CheckpointConfig.Interval ≤ 0.
+const DefaultCheckpointInterval = time.Second
+
+// CheckpointStats is the checkpointer's cumulative telemetry.
+type CheckpointStats struct {
+	// Checkpoints is the number of snapshot files written.
+	Checkpoints uint64
+	// SkippedRounds counts rounds skipped because the partition's
+	// durable sequence had not advanced since its last snapshot.
+	SkippedRounds uint64
+	// Time is cumulative capture+write+prune time.
+	Time time.Duration
+	// Truncations counts truncation passes that dropped segments;
+	// TruncatedBytes is what they reclaimed.
+	Truncations    uint64
+	TruncatedBytes int64
+	// Errors counts failed background rounds (the loop keeps going; the
+	// last error is also retained and returned by DB.CheckpointNow).
+	Errors uint64
+}
+
+// checkpointer is the background storage-lifecycle loop: per partition,
+// capture a fuzzy snapshot stamped with the durable WAL sequence, prune
+// old snapshots, and truncate the log below the second-newest retained
+// snapshot.
+type checkpointer struct {
+	db *DB
+
+	mu      sync.Mutex // serializes rounds; guards everything below
+	lastSeq []uint64   // newest snapshot seq per partition (0 = none)
+	lastRun []time.Time
+	buf     []byte // snapshot build buffer, reused across rounds
+	stats   CheckpointStats
+	lastErr error
+
+	runMu   sync.Mutex
+	stopCh  chan struct{}
+	doneCh  chan struct{}
+	running bool
+}
+
+func newCheckpointer(db *DB) *checkpointer {
+	n := db.Partitions()
+	return &checkpointer{db: db, lastSeq: make([]uint64, n), lastRun: make([]time.Time, n)}
+}
+
+// start launches the loop. Idempotent. Called via DB.StartCheckpointer —
+// never from NewDB: a checkpointer running during base load or replay
+// would snapshot half-loaded state and then truncate away the only
+// complete copy of the records.
+func (c *checkpointer) start() {
+	c.runMu.Lock()
+	defer c.runMu.Unlock()
+	if c.running {
+		return
+	}
+	c.mu.Lock()
+	for p := range c.lastSeq {
+		// Resume from what is on disk: a restarted process must not
+		// re-snapshot sequences already covered, nor trust in-memory
+		// state it does not have.
+		if snaps, err := storage.ListSnapshots(c.db.cfg.Checkpoint.Dir, p); err == nil && len(snaps) > 0 {
+			c.lastSeq[p] = snaps[0].Seq
+		}
+		c.lastRun[p] = time.Now()
+	}
+	c.mu.Unlock()
+	c.stopCh = make(chan struct{})
+	c.doneCh = make(chan struct{})
+	c.running = true
+	go c.loop(c.stopCh, c.doneCh)
+}
+
+func (c *checkpointer) stop() {
+	c.runMu.Lock()
+	defer c.runMu.Unlock()
+	if !c.running {
+		return
+	}
+	close(c.stopCh)
+	<-c.doneCh
+	c.running = false
+}
+
+func (c *checkpointer) loop(stopCh, doneCh chan struct{}) {
+	defer close(doneCh)
+	cfg := &c.db.cfg.Checkpoint
+	interval := cfg.Interval
+	if interval <= 0 {
+		interval = DefaultCheckpointInterval
+	}
+	// The size trigger needs to be noticed faster than the time trigger
+	// fires, so the loop polls at the smaller of the two scales.
+	poll := interval
+	if cfg.MaxLogBytes > 0 && poll > 100*time.Millisecond {
+		poll = 100 * time.Millisecond
+	}
+	tick := time.NewTicker(poll)
+	defer tick.Stop()
+	for {
+		select {
+		case <-stopCh:
+			return
+		case <-tick.C:
+			c.mu.Lock()
+			for p := 0; p < c.db.Partitions(); p++ {
+				due := time.Since(c.lastRun[p]) >= interval ||
+					(cfg.MaxLogBytes > 0 && c.db.PLog.LiveBytes(p) >= cfg.MaxLogBytes)
+				if !due {
+					continue
+				}
+				if err := c.partitionRoundLocked(p); err != nil {
+					c.stats.Errors++
+					c.lastErr = err
+				}
+			}
+			c.mu.Unlock()
+		}
+	}
+}
+
+// runAll checkpoints every partition now, regardless of triggers.
+func (c *checkpointer) runAll() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var first error
+	for p := 0; p < c.db.Partitions(); p++ {
+		if err := c.partitionRoundLocked(p); err != nil && first == nil {
+			first = err
+		}
+	}
+	if first == nil {
+		first = c.lastErr
+		c.lastErr = nil
+	}
+	return first
+}
+
+func (c *checkpointer) partitionRoundLocked(p int) error {
+	cfg := &c.db.cfg.Checkpoint
+	// Capture the checkpoint sequence under the gate's write lock: every
+	// in-flight commit window (record durable at some seq … effects
+	// installed) drains first, so all records ≤ seq have their writes
+	// installed and a snapshot taken from here on cannot miss them. The
+	// snapshot itself runs after the gate is released — writers proceed
+	// concurrently, which is what makes the checkpoint fuzzy: it may
+	// additionally contain effects of records > seq, and replay
+	// re-applying those after-images is idempotent.
+	c.db.ckptGate.Lock()
+	seq := c.db.PLog.Seq(p)
+	c.db.ckptGate.Unlock()
+	c.lastRun[p] = time.Now()
+	if seq == c.lastSeq[p] {
+		c.stats.SkippedRounds++
+		return nil
+	}
+	start := time.Now()
+	var err error
+	c.buf, err = storage.WriteSnapshot(cfg.Dir, c.db.Catalog, p, seq, c.buf)
+	if err != nil {
+		return fmt.Errorf("core: checkpoint partition %d: %w", p, err)
+	}
+	c.lastSeq[p] = seq
+	c.stats.Checkpoints++
+	keep := cfg.Keep
+	if keep < 2 {
+		keep = 2
+	}
+	if _, err := storage.PruneSnapshots(cfg.Dir, p, keep); err != nil {
+		return fmt.Errorf("core: prune checkpoints partition %d: %w", p, err)
+	}
+	c.stats.Time += time.Since(start)
+	if cfg.Truncate {
+		snaps, err := storage.ListSnapshots(cfg.Dir, p)
+		if err != nil {
+			return err
+		}
+		if len(snaps) >= 2 {
+			// Cut below the second-newest snapshot: both retained
+			// recovery points keep their full log suffix, so a corrupt
+			// newest snapshot still recovers from the previous one.
+			dropped, err := c.db.PLog.TruncateBelow(p, snaps[1].Seq)
+			if err != nil {
+				return fmt.Errorf("core: truncate partition %d: %w", p, err)
+			}
+			if dropped > 0 {
+				c.stats.Truncations++
+				c.stats.TruncatedBytes += dropped
+			}
+		}
+	}
+	return nil
+}
+
+func (c *checkpointer) statsSnapshot() CheckpointStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// StartCheckpointer launches the background checkpoint/truncation loop.
+// Call it only after the base state is loaded and any crash replay has
+// finished — a checkpoint of a half-recovered catalog, followed by
+// truncation, would discard the only complete copy of committed records.
+// No-op when checkpoints are disabled; idempotent when they are not.
+func (db *DB) StartCheckpointer() {
+	if db.ckpt != nil {
+		db.ckpt.start()
+	}
+}
+
+// CheckpointNow synchronously runs one checkpoint round over every
+// partition, regardless of the interval and size triggers, and returns
+// the first error (including any pending background-round error). Tools
+// and tests use it to force a recovery point.
+func (db *DB) CheckpointNow() error {
+	if db.ckpt == nil {
+		return errors.New("core: checkpoints are not enabled")
+	}
+	return db.ckpt.runAll()
+}
+
+// CheckpointStats returns the checkpointer's cumulative telemetry; zero
+// when checkpoints are disabled.
+func (db *DB) CheckpointStats() CheckpointStats {
+	if db.ckpt == nil {
+		return CheckpointStats{}
+	}
+	return db.ckpt.statsSnapshot()
+}
+
+// LogLiveBytes sums the live (not yet truncated) WAL bytes across all
+// partition devices — the quantity the truncation policy bounds.
+func (db *DB) LogLiveBytes() int64 {
+	var total int64
+	for p := 0; p < db.Partitions(); p++ {
+		total += db.PLog.LiveBytes(p)
+	}
+	return total
+}

@@ -12,6 +12,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -102,6 +103,12 @@ type Config struct {
 	WALFsync wal.FsyncPolicy
 	// WALFsyncInterval is the window for wal.FsyncInterval.
 	WALFsyncInterval time.Duration
+
+	// Checkpoint configures the storage lifecycle — fuzzy checkpoints
+	// and WAL truncation (see CheckpointConfig). Requires WALDir and
+	// switches the log files to the segmented layout; the zero value
+	// (disabled) keeps the single-file layout bit for bit.
+	Checkpoint CheckpointConfig
 }
 
 // Bamboo returns the paper's full configuration: all four optimizations
@@ -153,6 +160,15 @@ type DB struct {
 	cfg      Config
 	txnIDs   atomic.Uint64
 	onCommit OnCommitHook
+
+	// ckptGate closes the fuzzy-checkpoint race: commit windows hold it
+	// shared from log append through lock release, and the checkpointer
+	// takes it exclusively — only for the instant it reads the partition
+	// sequence — so a checkpoint LSN never lands between "record durable
+	// at seq" and "effects installed". Nil (a single pointer test on the
+	// commit path) when checkpoints are disabled.
+	ckptGate *sync.RWMutex
+	ckpt     *checkpointer
 }
 
 // NewDB creates a database with the given protocol configuration.
@@ -180,6 +196,10 @@ func NewDB(cfg Config) *DB {
 	})
 	db.PLog = wal.NewPartitioned(db.walDevices(), cfg.GroupCommit, cfg.GroupCommitInterval)
 	db.Log = db.PLog.Log(0)
+	if cfg.Checkpoint.Enabled() {
+		db.ckptGate = &sync.RWMutex{}
+		db.ckpt = newCheckpointer(db)
+	}
 	return db
 }
 
@@ -195,8 +215,20 @@ func (db *DB) walDevices() []wal.Device {
 	if db.cfg.WALDir != "" && db.cfg.LogDevice != nil {
 		panic("core: Config.LogDevice and Config.WALDir are mutually exclusive")
 	}
+	if db.cfg.Checkpoint.Enabled() && db.cfg.WALDir == "" {
+		panic("core: Config.Checkpoint requires Config.WALDir (checkpoints stamp and truncate file-backed logs)")
+	}
 	if db.cfg.WALDir != "" {
-		files, err := wal.OpenPartitionDevices(db.cfg.WALDir, n, db.cfg.WALFsync, db.cfg.WALFsyncInterval)
+		var files []*wal.FileDevice
+		var err error
+		if db.cfg.Checkpoint.Enabled() {
+			// The lifecycle layout: segmented logs, so truncation can
+			// unlink whole prefix files.
+			files, err = wal.OpenPartitionSegmentedDevices(db.cfg.WALDir, n,
+				db.cfg.WALFsync, db.cfg.WALFsyncInterval, db.cfg.Checkpoint.SegmentBytes)
+		} else {
+			files, err = wal.OpenPartitionDevices(db.cfg.WALDir, n, db.cfg.WALFsync, db.cfg.WALFsyncInterval)
+		}
 		if err != nil {
 			panic(fmt.Sprintf("core: open WAL dir %s: %v", db.cfg.WALDir, err))
 		}
@@ -219,10 +251,16 @@ func (db *DB) walDevices() []wal.Device {
 	return devs
 }
 
-// Close drains and stops every partition's group-commit flusher and
-// syncs+closes file-backed log devices. Safe to call on any DB; required
-// when GroupCommit or WALDir is enabled.
-func (db *DB) Close() error { return db.PLog.Close() }
+// Close stops the checkpointer (if started), drains and stops every
+// partition's group-commit flusher and syncs+closes file-backed log
+// devices. Safe to call on any DB; required when GroupCommit, WALDir or
+// checkpointing is enabled.
+func (db *DB) Close() error {
+	if db.ckpt != nil {
+		db.ckpt.stop()
+	}
+	return db.PLog.Close()
+}
 
 // WALStats sums the durability telemetry of every partition log device:
 // records and bytes appended, device write operations (what group commit

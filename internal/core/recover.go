@@ -4,7 +4,6 @@ import (
 	"errors"
 	"fmt"
 	"io/fs"
-	"os"
 	"sync"
 
 	"bamboo/internal/storage"
@@ -26,8 +25,21 @@ type ReplayStats struct {
 	// shape after a crash mid-append; the partial tail is discarded and
 	// the log replays to its last complete record.
 	Torn int
-	// Bytes is the total log bytes of complete records replayed.
+	// Bytes is the total log bytes of records actually applied — with a
+	// checkpoint, the post-checkpoint suffix only. This is the number a
+	// bounded-recovery claim is about.
 	Bytes int64
+	// Skipped counts records (and SkippedSegments whole segment files)
+	// that a checkpoint made redundant; skipped records read from disk
+	// are still CRC-verified.
+	Skipped         int
+	SkippedSegments int
+	// Checkpoints is the number of snapshot files restored (≤ 1 per
+	// partition); CheckpointRows the rows they installed. CheckpointsBad
+	// counts corrupt snapshots that were rejected and fallen back from.
+	Checkpoints    int
+	CheckpointRows int
+	CheckpointsBad int
 }
 
 // ReplayDir rebuilds row state from the per-partition WAL files a
@@ -49,11 +61,19 @@ type ReplayStats struct {
 // A torn record at a log's tail is tolerated and counted; corruption
 // anywhere else fails the replay.
 func (db *DB) ReplayDir(dir string, parallel bool) (ReplayStats, error) {
+	return db.ReplayDirCheckpointed(dir, db.cfg.Checkpoint.Dir, parallel)
+}
+
+// ReplayDirCheckpointed is ReplayDir with an explicit snapshot directory,
+// for recovery tooling that inspects a crashed instance's state without
+// configuring (and thus opening) its WAL devices. Empty ckptDir means a
+// full replay from the first retained record.
+func (db *DB) ReplayDirCheckpointed(dir, ckptDir string, parallel bool) (ReplayStats, error) {
 	n := db.Partitions()
 	stats := make([]ReplayStats, n)
 	errs := make([]error, n)
 	replayOne := func(p int) {
-		stats[p], errs[p] = db.replayLog(dir, p)
+		stats[p], errs[p] = db.replayLog(dir, ckptDir, p)
 	}
 	if parallel {
 		var wg sync.WaitGroup
@@ -80,17 +100,56 @@ func (db *DB) ReplayDir(dir string, parallel bool) (ReplayStats, error) {
 		total.Writes += stats[p].Writes
 		total.Torn += stats[p].Torn
 		total.Bytes += stats[p].Bytes
+		total.Skipped += stats[p].Skipped
+		total.SkippedSegments += stats[p].SkippedSegments
+		total.Checkpoints += stats[p].Checkpoints
+		total.CheckpointRows += stats[p].CheckpointRows
+		total.CheckpointsBad += stats[p].CheckpointsBad
 	}
 	return total, nil
 }
 
-func (db *DB) replayLog(dir string, p int) (ReplayStats, error) {
+func (db *DB) replayLog(dir, ckptDir string, p int) (ReplayStats, error) {
 	var st ReplayStats
-	path := wal.PartitionLogPath(dir, p)
-	if _, err := os.Stat(path); errors.Is(err, fs.ErrNotExist) {
-		return st, nil
+	// Checkpoint-aware start: restore the newest valid snapshot and
+	// replay only the log suffix past its LSN. A corrupt snapshot falls
+	// back to the next-older one (LoadSnapshot verifies the whole file
+	// before applying anything, so a rejected snapshot installs
+	// nothing); no usable snapshot at all falls back to a full replay —
+	// which the log can satisfy unless truncation already ran, in which
+	// case ReplayPartition fails loudly rather than resurrect a state
+	// missing committed records.
+	fromSeq := uint64(0)
+	if ckptDir != "" {
+		snaps, err := storage.ListSnapshots(ckptDir, p)
+		if err != nil {
+			return st, err
+		}
+		for _, sn := range snaps {
+			sp, seq, rows, err := storage.LoadSnapshot(sn.Path, db.Catalog)
+			if err != nil {
+				if errors.Is(err, storage.ErrSnapshotCorrupt) {
+					st.CheckpointsBad++
+					continue
+				}
+				return st, err
+			}
+			if sp != p || seq != sn.Seq {
+				// The file's self-description disagrees with its name:
+				// treat exactly like a corrupt snapshot. (Rows may have
+				// been applied, but they are committed images of *some*
+				// partition state; the older snapshot plus a longer
+				// replay still converges via idempotent after-images.)
+				st.CheckpointsBad++
+				continue
+			}
+			st.Checkpoints++
+			st.CheckpointRows += rows
+			fromSeq = seq
+			break
+		}
 	}
-	rst, err := wal.ReplayFile(path, func(rec *wal.Record) error {
+	rst, err := wal.ReplayPartition(dir, p, fromSeq, func(rec *wal.Record) error {
 		st.Records++
 		for _, w := range rec.Writes {
 			tbl := db.Catalog.Table(w.Table)
@@ -105,8 +164,15 @@ func (db *DB) replayLog(dir string, p int) (ReplayStats, error) {
 		}
 		return nil
 	})
+	if errors.Is(err, fs.ErrNotExist) {
+		// A partition that never logged; with a checkpoint restored the
+		// snapshot alone is its recovered state.
+		return st, nil
+	}
 	st.Logs = 1
 	st.Bytes = rst.Bytes
+	st.Skipped = rst.Skipped
+	st.SkippedSegments = rst.SkippedSegments
 	if rst.Torn {
 		st.Torn++
 	}

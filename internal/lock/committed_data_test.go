@@ -1,0 +1,89 @@
+package lock
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestAppendCommittedData pins the fuzzy-checkpoint read: while dirty
+// installs sit in the retired list the committed image must be the
+// pre-install one; it advances only as the writers actually commit, and
+// an abort must never drag it backwards past a committed value.
+func TestAppendCommittedData(t *testing.T) {
+	committed := func(e *Entry) []byte { return e.AppendCommittedData(nil) }
+
+	m := bambooMgr()
+	e := newEntry(1)
+	if got := committed(e); !bytes.Equal(got, []byte{1}) {
+		t.Fatalf("idle entry committed image = %v", got)
+	}
+
+	// Writer 1 retires a dirty install: Data is now 10, committed still 1.
+	w1 := newTxnTS(1, 1)
+	r1 := mustAcquire(t, m, w1, EX, e)
+	r1.Data[0] = 10
+	m.Retire(r1)
+	if got := e.CurrentData(); got[0] != 10 {
+		t.Fatalf("dirty install not published: %v", got)
+	}
+	if got := committed(e); !bytes.Equal(got, []byte{1}) {
+		t.Fatalf("committed image with one dirty install = %v, want [1]", got)
+	}
+
+	// Writer 2 chains a second dirty install on top: committed image must
+	// still be the original.
+	w2 := newTxnTS(2, 2)
+	r2 := mustAcquire(t, m, w2, EX, e)
+	r2.Data[0] = 20
+	m.Retire(r2)
+	if got := committed(e); !bytes.Equal(got, []byte{1}) {
+		t.Fatalf("committed image with two dirty installs = %v, want [1]", got)
+	}
+
+	// Writer 1 commits: its image (10) is now the committed frontier even
+	// though writer 2's install (20) is still dirty in Data.
+	m.Release(r1, false)
+	if got := committed(e); !bytes.Equal(got, []byte{10}) {
+		t.Fatalf("committed image after w1 commit = %v, want [10]", got)
+	}
+	if got := e.CurrentData(); got[0] != 20 {
+		t.Fatalf("dirty frontier lost: %v", got)
+	}
+
+	// Writer 2 aborts: its install unwinds and the committed image stays
+	// at writer 1's value.
+	m.Release(r2, true)
+	if got := committed(e); !bytes.Equal(got, []byte{10}) {
+		t.Fatalf("committed image after w2 abort = %v, want [10]", got)
+	}
+	if got := e.CurrentData(); got[0] != 10 {
+		t.Fatalf("abort did not rewind Data: %v", got)
+	}
+	if err := e.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A retired read between dirty installs must not perturb the verdict.
+	e2 := newEntry(5)
+	wa := newTxnTS(10, 10)
+	ra := mustAcquire(t, m, wa, EX, e2)
+	ra.Data[0] = 50
+	m.Retire(ra)
+	rd := newTxnTS(11, 11)
+	rr := mustAcquire(t, m, rd, SH, e2)
+	if got := committed(e2); !bytes.Equal(got, []byte{5}) {
+		t.Fatalf("committed image with dirty install + retired read = %v, want [5]", got)
+	}
+	m.Release(ra, false)
+	m.Release(rr, false)
+	if got := committed(e2); !bytes.Equal(got, []byte{50}) {
+		t.Fatalf("committed image after commit = %v, want [50]", got)
+	}
+
+	// AppendCommittedData must append, not replace.
+	buf := []byte{0xEE}
+	buf = e2.AppendCommittedData(buf)
+	if !bytes.Equal(buf, []byte{0xEE, 50}) {
+		t.Fatalf("append semantics broken: %v", buf)
+	}
+}

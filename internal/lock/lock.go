@@ -348,6 +348,21 @@ func (e *Entry) CurrentData() []byte {
 	return e.Data
 }
 
+// AppendCommittedData appends the entry's newest *committed* image onto
+// buf under the latch and returns the extended slice. Under Bamboo the
+// entry's current image may be a dirty install published by a retired —
+// not yet committed — writer; checkpointing that image would persist
+// state a later abort unwinds. The committed image is the version a
+// reader inserted before every retired request would observe: the
+// pre-image of the first live exclusive install in the retired list, or
+// Data itself when no uncommitted install exists. Fuzzy checkpoints use
+// this to snapshot rows without stopping writers.
+func (e *Entry) AppendCommittedData(buf []byte) []byte {
+	e.latch.Lock()
+	defer e.latch.Unlock()
+	return append(buf, versionAt(e, e.retired.head)...)
+}
+
 // CheckInvariants verifies structural invariants of the entry under the
 // latch; tests call it after randomized histories. It returns an error
 // describing the first violation found.

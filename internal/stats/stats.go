@@ -207,6 +207,14 @@ type Report struct {
 	WALSyncs    uint64
 	WALSyncTime time.Duration
 
+	// Storage-lifecycle telemetry (checkpoint-enabled runs only): fuzzy
+	// snapshots written and their cumulative capture+write time, and the
+	// live (not yet truncated) WAL bytes at the end of the run — the
+	// quantity log truncation bounds.
+	CheckpointCount uint64
+	CheckpointTime  time.Duration
+	LogBytesLive    int64
+
 	// Commit-latency distribution (lock wait + execution + commit wait),
 	// from the merged worker histograms.
 	LatencyMean time.Duration

@@ -1,0 +1,322 @@
+package storage
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Checkpoint snapshot file format (all integers little-endian):
+//
+//	"BCKP" | u32 version | u32 partition | u64 seq | u32 nTables
+//	per table (sorted by name):
+//	    u16 nameLen | name | u32 rowSize | u64 nRows
+//	    nRows × (u64 key | rowSize image bytes)
+//	u32 crc32c(everything before)
+//
+// The seq stamp is the partition's durable WAL sequence at capture: the
+// snapshot plus the log suffix strictly above seq reconstructs the
+// partition. Rows are captured through lock.Entry.AppendCommittedData, so
+// a fuzzy snapshot taken while writers run never contains a dirty
+// (retired-but-uncommitted) image; images committed after seq may slip
+// in, which is harmless because replay reapplies idempotent after-images.
+//
+// The trailing CRC covers the whole file. Loading verifies it before
+// applying anything, so a corrupt snapshot is rejected atomically —
+// recovery falls back to an older snapshot or a longer replay rather
+// than restoring half a checkpoint.
+
+const snapshotMagic = "BCKP"
+
+// SnapshotVersion is the current snapshot format version.
+const SnapshotVersion = 1
+
+// ErrSnapshotCorrupt marks a snapshot file recovery must not trust: a
+// CRC mismatch, a truncated file, or structure that contradicts the
+// catalog. errors.Is-matchable.
+var ErrSnapshotCorrupt = errors.New("storage: snapshot corrupt")
+
+// SnapshotPath returns the canonical snapshot file name for partition p
+// at WAL sequence seq. The fixed-width sequence keeps lexicographic and
+// numeric order identical, like WAL segment names.
+func SnapshotPath(dir string, p int, seq uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("ckpt-%03d-%020d.ckpt", p, seq))
+}
+
+// SnapshotInfo describes one on-disk snapshot file.
+type SnapshotInfo struct {
+	Path string
+	Seq  uint64
+}
+
+// ListSnapshots returns partition p's snapshots in dir, newest (highest
+// seq) first — the order recovery tries them in. A missing directory is
+// an empty list.
+func ListSnapshots(dir string, p int) ([]SnapshotInfo, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("storage: list snapshots: %w", err)
+	}
+	prefix := fmt.Sprintf("ckpt-%03d-", p)
+	var snaps []SnapshotInfo
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, ".ckpt") {
+			continue
+		}
+		seqStr := strings.TrimSuffix(strings.TrimPrefix(name, prefix), ".ckpt")
+		seq, err := strconv.ParseUint(seqStr, 10, 64)
+		if err != nil {
+			continue // foreign file; never trust it as a checkpoint
+		}
+		snaps = append(snaps, SnapshotInfo{Path: filepath.Join(dir, name), Seq: seq})
+	}
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i].Seq > snaps[j].Seq })
+	return snaps, nil
+}
+
+// AppendSnapshot appends the snapshot encoding of partition p of every
+// table in c (stamped with WAL sequence seq) onto buf and returns the
+// extended slice — callers reuse the buffer across checkpoint rounds.
+// Tables with fewer partitions than p contribute nothing: their rows
+// belong to lower-numbered partitions' snapshots.
+func AppendSnapshot(buf []byte, c *Catalog, p int, seq uint64) ([]byte, error) {
+	start := len(buf)
+	buf = append(buf, snapshotMagic...)
+	buf = binary.LittleEndian.AppendUint32(buf, SnapshotVersion)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(p))
+	buf = binary.LittleEndian.AppendUint64(buf, seq)
+	names := c.Tables()
+	sort.Strings(names)
+	nTablesAt := len(buf)
+	buf = binary.LittleEndian.AppendUint32(buf, 0)
+	nTables := uint32(0)
+	for _, name := range names {
+		tbl := c.Table(name)
+		if p >= tbl.NumPartitions() {
+			continue
+		}
+		nTables++
+		rowSize := tbl.Schema.RowSize()
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(name)))
+		buf = append(buf, name...)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(rowSize))
+		nRowsAt := len(buf)
+		buf = binary.LittleEndian.AppendUint64(buf, 0)
+		var nRows uint64
+		var err error
+		tbl.Partition(p).Range(func(key uint64, r *Row) bool {
+			buf = binary.LittleEndian.AppendUint64(buf, key)
+			before := len(buf)
+			buf = r.Entry.AppendCommittedData(buf)
+			if len(buf)-before != rowSize {
+				err = fmt.Errorf("storage: snapshot of %s key %d: committed image is %d bytes, schema says %d",
+					name, key, len(buf)-before, rowSize)
+				return false
+			}
+			nRows++
+			return true
+		})
+		if err != nil {
+			return buf[:start], err
+		}
+		binary.LittleEndian.PutUint64(buf[nRowsAt:], nRows)
+	}
+	binary.LittleEndian.PutUint32(buf[nTablesAt:], nTables)
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.Checksum(buf[start:], snapCRC))
+	return buf, nil
+}
+
+var snapCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// WriteSnapshot captures partition p of every table in c into the
+// canonical snapshot file under dir, atomically: the bytes go to a
+// temporary file that is fsynced and then renamed into place, with a
+// directory sync after, so a crash leaves either the complete snapshot
+// or none. buf is an optional reusable buffer; the (possibly grown)
+// buffer is returned for the next round.
+func WriteSnapshot(dir string, c *Catalog, p int, seq uint64, buf []byte) ([]byte, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return buf, fmt.Errorf("storage: create checkpoint dir: %w", err)
+	}
+	buf, err := AppendSnapshot(buf[:0], c, p, seq)
+	if err != nil {
+		return buf, err
+	}
+	path := SnapshotPath(dir, p, seq)
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return buf, fmt.Errorf("storage: create snapshot: %w", err)
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return buf, fmt.Errorf("storage: write snapshot: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return buf, fmt.Errorf("storage: sync snapshot: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return buf, err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return buf, fmt.Errorf("storage: publish snapshot: %w", err)
+	}
+	if err := syncSnapshotDir(dir); err != nil {
+		return buf, err
+	}
+	return buf, nil
+}
+
+// PruneSnapshots removes all but the keep newest snapshots of partition
+// p in dir, returning how many were unlinked.
+func PruneSnapshots(dir string, p, keep int) (int, error) {
+	snaps, err := ListSnapshots(dir, p)
+	if err != nil {
+		return 0, err
+	}
+	removed := 0
+	for _, sn := range snaps[min(keep, len(snaps)):] {
+		if err := os.Remove(sn.Path); err != nil && !os.IsNotExist(err) {
+			return removed, err
+		}
+		removed++
+	}
+	if removed > 0 {
+		if err := syncSnapshotDir(dir); err != nil {
+			return removed, err
+		}
+	}
+	return removed, nil
+}
+
+// LoadSnapshot verifies and applies the snapshot at path into c,
+// returning its partition, sequence stamp and the number of rows
+// restored. The whole file is CRC-verified and parsed before the first
+// row is applied: a snapshot that fails any check — checksum, structure,
+// or disagreement with the catalog's schemas — returns
+// ErrSnapshotCorrupt and leaves c untouched, so recovery can fall back
+// to an older snapshot or a full replay. Tables must already exist in c
+// (recovery loads the schema/base state first); rows are applied through
+// Partition.ApplyRecord, the same idempotent insert-or-replace replay
+// uses.
+func LoadSnapshot(path string, c *Catalog) (partition int, seq uint64, rows int, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	corrupt := func(format string, args ...any) error {
+		return fmt.Errorf("storage: snapshot %s: %w: %s", filepath.Base(path), ErrSnapshotCorrupt, fmt.Sprintf(format, args...))
+	}
+	if len(data) < len(snapshotMagic)+4+4+8+4+4 {
+		return 0, 0, 0, corrupt("file too short (%d bytes)", len(data))
+	}
+	body, tail := data[:len(data)-4], data[len(data)-4:]
+	if crc32.Checksum(body, snapCRC) != binary.LittleEndian.Uint32(tail) {
+		return 0, 0, 0, corrupt("checksum mismatch")
+	}
+	if string(body[:4]) != snapshotMagic {
+		return 0, 0, 0, corrupt("bad magic %q", body[:4])
+	}
+	off := 4
+	version := binary.LittleEndian.Uint32(body[off:])
+	off += 4
+	if version != SnapshotVersion {
+		return 0, 0, 0, corrupt("unsupported version %d", version)
+	}
+	partition = int(binary.LittleEndian.Uint32(body[off:]))
+	off += 4
+	seq = binary.LittleEndian.Uint64(body[off:])
+	off += 8
+	nTables := binary.LittleEndian.Uint32(body[off:])
+	off += 4
+
+	// Parse every section completely before applying anything: a
+	// structural inconsistency must not leave a half-restored catalog.
+	type section struct {
+		tbl  *Table
+		rows []byte // nRows × (key | image)
+		n    uint64
+		size int
+	}
+	var secs []section
+	for ti := uint32(0); ti < nTables; ti++ {
+		if off+2 > len(body) {
+			return 0, 0, 0, corrupt("truncated table header")
+		}
+		nameLen := int(binary.LittleEndian.Uint16(body[off:]))
+		off += 2
+		if off+nameLen+4+8 > len(body) {
+			return 0, 0, 0, corrupt("truncated table header")
+		}
+		name := string(body[off : off+nameLen])
+		off += nameLen
+		rowSize := int(binary.LittleEndian.Uint32(body[off:]))
+		off += 4
+		nRows := binary.LittleEndian.Uint64(body[off:])
+		off += 8
+		tbl := c.Table(name)
+		if tbl == nil {
+			return 0, 0, 0, corrupt("table %q not in catalog", name)
+		}
+		if tbl.Schema.RowSize() != rowSize {
+			return 0, 0, 0, corrupt("table %q row size %d, schema says %d", name, rowSize, tbl.Schema.RowSize())
+		}
+		if partition >= tbl.NumPartitions() {
+			return 0, 0, 0, corrupt("table %q has %d partitions, snapshot is for partition %d",
+				name, tbl.NumPartitions(), partition)
+		}
+		per := uint64(8 + rowSize)
+		need := nRows * per
+		if per == 0 || uint64(len(body)-off) < need {
+			return 0, 0, 0, corrupt("table %q claims %d rows, %d bytes left", name, nRows, len(body)-off)
+		}
+		secs = append(secs, section{tbl: tbl, rows: body[off : off+int(need)], n: nRows, size: rowSize})
+		off += int(need)
+	}
+	if off != len(body) {
+		return 0, 0, 0, corrupt("%d trailing bytes", len(body)-off)
+	}
+
+	for _, s := range secs {
+		part := s.tbl.Partition(partition)
+		rd := s.rows
+		for i := uint64(0); i < s.n; i++ {
+			key := binary.LittleEndian.Uint64(rd)
+			img := rd[8 : 8+s.size]
+			rd = rd[8+s.size:]
+			if _, err := part.ApplyRecord(s.tbl, key, img); err != nil {
+				return 0, 0, 0, corrupt("apply key %d of %s: %v", key, s.tbl.Schema.Name, err)
+			}
+			rows++
+		}
+	}
+	return partition, seq, rows, nil
+}
+
+func syncSnapshotDir(dir string) error {
+	f, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	serr := f.Sync()
+	cerr := f.Close()
+	if serr != nil {
+		return serr
+	}
+	return cerr
+}

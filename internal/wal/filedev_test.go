@@ -2,6 +2,7 @@ package wal
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
 	"os"
 	"path/filepath"
@@ -190,7 +191,7 @@ func TestReplayTornTail(t *testing.T) {
 		if _, err := l.Commit(r); err != nil {
 			t.Fatal(err)
 		}
-		bounds = append(bounds, int64(4+len(Encode(r)))+prevBound(bounds))
+		bounds = append(bounds, frameSize(len(Encode(r)))+prevBound(bounds))
 	}
 	dev.Close()
 	full, err := os.ReadFile(path)
@@ -262,15 +263,16 @@ func TestReplayRejectsCorruptMiddle(t *testing.T) {
 	if _, err := d.Append(Encode(sample())); err != nil {
 		t.Fatal(err)
 	}
-	// A complete 5-byte frame of garbage, followed by a valid frame.
-	buf.Write([]byte{5, 0, 0, 0, 1, 2, 3, 4, 5})
+	// A complete, CRC-consistent 5-byte frame of garbage, followed by a
+	// valid frame: the checksums pass, the decode must not.
+	buf.Write(appendFrame(nil, []byte{1, 2, 3, 4, 5}))
 	if _, err := d.Append(Encode(sample())); err != nil {
 		t.Fatal(err)
 	}
 	n := 0
 	_, err := Replay(bytes.NewReader(buf.Bytes()), func(*Record) error { n++; return nil })
-	if err == nil {
-		t.Fatal("corrupt middle frame accepted")
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("corrupt middle frame: err=%v, want ErrCorrupt", err)
 	}
 	if n != 1 {
 		t.Fatalf("replayed %d records before the corruption, want 1", n)
@@ -287,7 +289,13 @@ func TestReplayRejectsOverflowingFramePrefix(t *testing.T) {
 	if _, err := d.Append(Encode(sample())); err != nil {
 		t.Fatal(err)
 	}
-	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF}) // 4 GiB frame "length"
+	// A header whose length words agree (so the complement check passes)
+	// but claim a ~4 GiB frame: only the MaxFrameBytes cap stands between
+	// this and a huge allocation plus a bogus torn-tail verdict.
+	hdr := binary.LittleEndian.AppendUint32(nil, 0xFFFFFFF0)
+	hdr = binary.LittleEndian.AppendUint32(hdr, ^uint32(0xFFFFFFF0))
+	hdr = binary.LittleEndian.AppendUint32(hdr, 0)
+	buf.Write(hdr)
 	if _, err := d.Append(Encode(sample())); err != nil {
 		t.Fatal(err)
 	}

@@ -85,6 +85,46 @@ func (pl *PartitionedLog) Close() error {
 	return first
 }
 
+// LifecycleDevice is the interface a device must satisfy for the
+// storage lifecycle (checkpointing and log truncation) to manage it:
+// expose the partition-local durable sequence, the live log footprint,
+// and unlink-based truncation. FileDevice in segmented mode implements
+// it.
+type LifecycleDevice interface {
+	Seq() uint64
+	LiveBytes() int64
+	TruncateBelow(seq uint64) (int64, error)
+}
+
+// Seq returns partition p's last appended sequence number, or 0 if its
+// device does not track one.
+func (pl *PartitionedLog) Seq(p int) uint64 {
+	if ld, ok := pl.devs[p].(LifecycleDevice); ok {
+		return ld.Seq()
+	}
+	return 0
+}
+
+// LiveBytes returns the live log footprint of partition p's device, or 0
+// if it does not report one.
+func (pl *PartitionedLog) LiveBytes(p int) int64 {
+	if ld, ok := pl.devs[p].(LifecycleDevice); ok {
+		return ld.LiveBytes()
+	}
+	return 0
+}
+
+// TruncateBelow drops partition p's log frames with sequence ≤ seq (to
+// whole-segment granularity), returning the bytes reclaimed. It errors
+// if the partition's device cannot truncate.
+func (pl *PartitionedLog) TruncateBelow(p int, seq uint64) (int64, error) {
+	ld, ok := pl.devs[p].(LifecycleDevice)
+	if !ok {
+		return 0, fmt.Errorf("wal: partition %d device cannot truncate", p)
+	}
+	return ld.TruncateBelow(seq)
+}
+
 // Stats sums the DeviceStats of every partition device that reports them.
 func (pl *PartitionedLog) Stats() DeviceStats {
 	var s DeviceStats

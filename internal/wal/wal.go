@@ -24,6 +24,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"sync"
 	"time"
@@ -544,10 +545,11 @@ func (d *MemDevice) Records() ([]*Record, error) {
 	return out, nil
 }
 
-// WriterDevice appends length-prefixed records to an io.Writer.
+// WriterDevice appends framed records (see frame.go) to an io.Writer.
 type WriterDevice struct {
 	mu      sync.Mutex
 	w       io.Writer
+	scratch []byte
 	lsn     uint64
 	bytes   uint64
 	batches uint64
@@ -588,12 +590,8 @@ func (d *WriterDevice) Stats() DeviceStats {
 }
 
 func (d *WriterDevice) appendLocked(rec []byte) (uint64, error) {
-	var hdr [4]byte
-	binary.LittleEndian.PutUint32(hdr[:], uint32(len(rec)))
-	if _, err := d.w.Write(hdr[:]); err != nil {
-		return 0, err
-	}
-	if _, err := d.w.Write(rec); err != nil {
+	d.scratch = appendFrame(d.scratch[:0], rec)
+	if _, err := d.w.Write(d.scratch); err != nil {
 		return 0, err
 	}
 	d.lsn++
@@ -601,20 +599,33 @@ func (d *WriterDevice) appendLocked(rec []byte) (uint64, error) {
 	return d.lsn, nil
 }
 
-// ReadAll decodes every record from a stream produced by WriterDevice.
+// ReadAll decodes every record from a stream produced by WriterDevice,
+// verifying each frame's header complement and payload CRC. Unlike
+// Replay it is strict: a torn tail is an error, not a tolerated crash
+// artifact — streams read here are expected to be complete.
 func ReadAll(r io.Reader) ([]*Record, error) {
 	var out []*Record
-	var hdr [4]byte
+	var hdr [frameHeaderSize]byte
 	for {
 		if _, err := io.ReadFull(r, hdr[:]); err != nil {
 			if errors.Is(err, io.EOF) {
 				return out, nil
 			}
-			return nil, err
+			return nil, fmt.Errorf("wal: truncated record: %w", err)
 		}
-		buf := make([]byte, binary.LittleEndian.Uint32(hdr[:]))
+		frameLen, wantCRC, ok := parseFrameHeader(hdr[:])
+		if !ok {
+			return nil, fmt.Errorf("wal: %w: frame length %#x contradicts its complement", ErrCorrupt, frameLen)
+		}
+		if frameLen > MaxFrameBytes {
+			return nil, fmt.Errorf("wal: %w: frame length %d overflows the %d cap", ErrCorrupt, frameLen, MaxFrameBytes)
+		}
+		buf := make([]byte, frameLen)
 		if _, err := io.ReadFull(r, buf); err != nil {
 			return nil, fmt.Errorf("wal: truncated record: %w", err)
+		}
+		if crc32.Checksum(buf, castagnoli) != wantCRC {
+			return nil, fmt.Errorf("wal: %w: payload CRC mismatch", ErrCorrupt)
 		}
 		rec, err := Decode(buf)
 		if err != nil {
