@@ -128,6 +128,14 @@ type Options struct {
 	InteractiveRTT time.Duration
 	// AbortBackoffMax bounds the randomized retry backoff after aborts.
 	AbortBackoffMax time.Duration
+	// MVCC keeps a small bounded version chain per row so transactions
+	// marked read-only (core.MarkReadOnly) execute at a snapshot
+	// timestamp with zero lock acquisitions and zero aborts. Only the
+	// lock engines support it; Silo ignores the flag.
+	MVCC bool
+	// MVCCPruneInterval is the background version-pruner tick
+	// (0 = default 2ms). Only meaningful with MVCC set.
+	MVCCPruneInterval time.Duration
 	// GroupCommit batches commit-record device writes through the WAL's
 	// epoch-based group committer; GroupCommitInterval is the epoch
 	// accumulation window (0 = flush as soon as records are pending).
@@ -187,6 +195,10 @@ func Open(opts Options) *DB {
 		cfg.DynamicTS = false
 	}
 	cfg.AbortBackoffMax = opts.AbortBackoffMax
+	if opts.Protocol != Silo {
+		cfg.MVCC = opts.MVCC
+		cfg.MVCCPruneInterval = opts.MVCCPruneInterval
+	}
 	cfg.GroupCommit = opts.GroupCommit
 	cfg.GroupCommitInterval = opts.GroupCommitInterval
 	cfg.WALDir = opts.WALDir

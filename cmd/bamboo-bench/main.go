@@ -46,6 +46,7 @@ func main() {
 		rows     = flag.Int("rows", 100000, "table rows for synthetic/YCSB workloads")
 		rtt      = flag.Duration("rtt", 100*time.Microsecond, "interactive-mode round trip per operation")
 		parts    = flag.Int("partitions", 0, "storage partition count for every point's tables (0/1 = flat single-partition layout; survives -quick)")
+		roFrac   = flag.Float64("readonly-frac", 0, "pin the readmvcc experiment's read-only-fraction ladder to this value in (0,1] (0 = built-in 0.5/0.9/0.95/1.0 sweep; survives -quick)")
 		quick    = flag.Bool("quick", false, "use the small CI smoke scale (overrides -threads/-duration/-txns/-rows/-rtt)")
 		jsonOut  = flag.Bool("json", false, "emit the schema-versioned JSON result document")
 		csvOut   = flag.Bool("csv", false, "emit results as one flat CSV table")
@@ -75,6 +76,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "bad -partitions value %d\n", *parts)
 		os.Exit(2)
 	}
+	if *roFrac < 0 || *roFrac > 1 {
+		fmt.Fprintf(os.Stderr, "bad -readonly-frac value %g (want 0..1)\n", *roFrac)
+		os.Exit(2)
+	}
 
 	var s bench.Scale
 	if *quick {
@@ -98,9 +103,11 @@ func main() {
 			}
 		}
 	}
-	// -partitions composes with -quick: the CI routing-path smoke run is
-	// "quick scale, 2 partitions".
+	// -partitions and -readonly-frac compose with -quick: the CI
+	// routing-path smoke run is "quick scale, 2 partitions" and the MVCC
+	// gate pins a single read-heavy point the same way.
 	s.Partitions = *parts
+	s.ReadOnlyFrac = *roFrac
 
 	var run []bench.Experiment
 	if *exp == "all" {

@@ -54,6 +54,10 @@ type Scale struct {
 	// pre-partitioning layout). Additive since the field's introduction,
 	// so schema-version-1 documents without it stay parseable.
 	Partitions int `json:"partitions,omitempty"`
+	// ReadOnlyFrac is the pinned read-only-transaction fraction of the
+	// readmvcc experiment (0/absent = the experiment's built-in ladder).
+	// Additive + omitempty like Partitions.
+	ReadOnlyFrac float64 `json:"readonly_frac,omitempty"`
 }
 
 // Experiment is one runner's full series.
@@ -115,6 +119,14 @@ type Point struct {
 	Checkpoints  int64 `json:"checkpoints,omitempty"`
 	CheckpointNS int64 `json:"checkpoint_ns,omitempty"`
 	LogBytesLive int64 `json:"log_bytes_live,omitempty"`
+
+	// MVCC snapshot-read telemetry (additive + omitempty, absent on
+	// non-MVCC runs): row reads served lock-free at a snapshot, version
+	// nodes reclaimed (install-time reuse + background sweeps), and the
+	// longest version chain the pruner observed.
+	SnapshotReads   uint64 `json:"snapshot_reads,omitempty"`
+	VersionsPruned  uint64 `json:"versions_pruned,omitempty"`
+	VersionChainMax uint64 `json:"version_chain_max,omitempty"`
 
 	ElapsedNS int64 `json:"elapsed_ns"`
 }
@@ -213,6 +225,9 @@ func PointFrom(x string, r stats.Report) Point {
 		Checkpoints:        int64(r.CheckpointCount),
 		CheckpointNS:       int64(r.CheckpointTime),
 		LogBytesLive:       r.LogBytesLive,
+		SnapshotReads:      r.SnapshotReads,
+		VersionsPruned:     r.VersionsPruned,
+		VersionChainMax:    r.VersionChainMax,
 		ElapsedNS:          int64(r.Elapsed),
 	}
 }

@@ -19,6 +19,7 @@ import (
 	"bamboo/internal/lock"
 	"bamboo/internal/stats"
 	"bamboo/internal/storage"
+	"bamboo/internal/txn"
 	"bamboo/internal/wal"
 )
 
@@ -109,6 +110,21 @@ type Config struct {
 	// switches the log files to the segmented layout; the zero value
 	// (disabled) keeps the single-file layout bit for bit.
 	Checkpoint CheckpointConfig
+
+	// MVCC enables the multi-version read path: commits install their
+	// after-images into per-row version chains, and transactions marked
+	// read-only (core.MarkReadOnly) execute at a snapshot timestamp with
+	// zero lock acquisitions, zero aborts and zero steady-state
+	// allocations. Versions are volatile — only the newest committed
+	// image is logged and checkpointed, so recovery is unchanged. Off
+	// (the default) keeps the locking path statement-identical to the
+	// pre-MVCC engine.
+	MVCC bool
+	// MVCCPruneInterval is the background version-pruner tick: each tick
+	// advances the reclaim watermark (what install-time node reuse keys
+	// off), and every few ticks sweeps cold rows' chains. Zero defaults
+	// to 2ms. Only meaningful with MVCC.
+	MVCCPruneInterval time.Duration
 }
 
 // Bamboo returns the paper's full configuration: all four optimizations
@@ -157,9 +173,15 @@ type DB struct {
 	PLog   *wal.PartitionedLog
 	Global *stats.Global
 
+	// Snap coordinates MVCC snapshot timestamps (in-flight commit
+	// windows, active snapshots, the reclaim watermark). Nil — a single
+	// pointer test on the commit path — when MVCC is off.
+	Snap *txn.SnapshotTable
+
 	cfg      Config
 	txnIDs   atomic.Uint64
 	onCommit OnCommitHook
+	pruner   *pruner
 
 	// ckptGate closes the fuzzy-checkpoint race: commit windows hold it
 	// shared from log append through lock release, and the checkpointer
@@ -199,6 +221,11 @@ func NewDB(cfg Config) *DB {
 	if cfg.Checkpoint.Enabled() {
 		db.ckptGate = &sync.RWMutex{}
 		db.ckpt = newCheckpointer(db)
+	}
+	if cfg.MVCC {
+		db.Catalog.SetMVCC(true)
+		db.Snap = txn.NewSnapshotTable()
+		db.pruner = startPruner(db)
 	}
 	return db
 }
@@ -258,6 +285,9 @@ func (db *DB) walDevices() []wal.Device {
 func (db *DB) Close() error {
 	if db.ckpt != nil {
 		db.ckpt.stop()
+	}
+	if db.pruner != nil {
+		db.pruner.stop()
 	}
 	return db.PLog.Close()
 }

@@ -49,7 +49,11 @@ func (e *LockEngine) NewSession(worker int, col *stats.Collector) Session {
 	} else {
 		s.wal = e.db.Log.NewAppender()
 	}
-	s.t.SetTSAlloc(e.db.Lock.NewTSAlloc(worker))
+	s.alloc = e.db.Lock.NewTSAlloc(worker)
+	s.t.SetTSAlloc(s.alloc)
+	if e.db.Snap != nil {
+		e.db.Snap.Register(worker)
+	}
 	s.tx.s = s
 	s.tx.t = s.t
 	s.tx.db = e.db
@@ -63,11 +67,12 @@ type lockSession struct {
 	rng    *rand.Rand
 
 	// Reused across logical transactions (see Run).
-	pool lock.Pool
-	t    *txn.Txn
-	tx   lockTx
-	wal  *wal.Appender
-	rec  wal.Record
+	pool  lock.Pool
+	t     *txn.Txn
+	tx    lockTx
+	wal   *wal.Appender
+	rec   wal.Record
+	alloc *txn.TSAlloc
 
 	// Partition-routed commit scratch, nil on the single-log layout: one
 	// appender and one record per partition log, plus the touched-
@@ -118,6 +123,15 @@ type lockTx struct {
 	declaredOps int
 	opIndex     int
 	lockWait    time.Duration
+
+	// MVCC snapshot-read state. snap is the attempt's snapshot timestamp
+	// (nonzero iff the attempt runs on the lock-free snapshot path);
+	// roFallback records that a snapshot attempt of this logical
+	// transaction needed the locking path (it wrote, or read a row with
+	// no visible version), so retries stop re-entering snapshot mode.
+	snap       uint64
+	roFallback bool
+	snapReads  uint64
 }
 
 type insertOp struct {
@@ -138,6 +152,7 @@ func (tx *lockTx) reset() {
 	tx.declaredOps = 0
 	tx.opIndex = 0
 	tx.lockWait = 0
+	tx.snapReads = 0
 }
 
 // Worker implements Tx.
@@ -148,6 +163,56 @@ func (tx *lockTx) ID() uint64 { return tx.t.ID }
 
 // DeclareOps implements Tx.
 func (tx *lockTx) DeclareOps(n int) { tx.declaredOps = n }
+
+// ReadOnly is implemented by transactions that support the MVCC snapshot
+// read mode. Use the MarkReadOnly helper rather than asserting directly.
+type ReadOnly interface {
+	// MarkReadOnly switches the current attempt to lock-free snapshot
+	// reads, returning false when it cannot: MVCC is off, a previous
+	// attempt of this transaction fell back to the locking path, or
+	// accesses were already made. After a true return, every Read is
+	// served from the row's version chain with zero lock acquisitions,
+	// and a write restarts the transaction on the locking path.
+	MarkReadOnly() bool
+}
+
+// MarkReadOnly marks tx read-only if its engine supports snapshot reads;
+// it returns whether the attempt is on the snapshot path. Transaction
+// bodies call it first thing and must tolerate false (the locking path
+// executes the same statements correctly).
+func MarkReadOnly(tx Tx) bool {
+	if ro, ok := tx.(ReadOnly); ok {
+		return ro.MarkReadOnly()
+	}
+	return false
+}
+
+// MarkReadOnly implements ReadOnly.
+func (tx *lockTx) MarkReadOnly() bool {
+	if tx.snap != 0 {
+		return true
+	}
+	if tx.db.Snap == nil || tx.roFallback || len(tx.accesses) > 0 || len(tx.inserts) > 0 {
+		return false
+	}
+	tx.snap = tx.db.Snap.AcquireSnapshot(tx.s.worker, tx.s.alloc)
+	return true
+}
+
+// errSnapshotFallback restarts a snapshot attempt on the locking path: a
+// write inside a transaction marked read-only, or a read of a row with no
+// version visible at the snapshot (e.g. inserted after it). The restart
+// is internal — not an abort, not retried via backoff — and the retry
+// refuses snapshot mode (roFallback).
+var errSnapshotFallback = errors.New("core: snapshot attempt falls back to locking path")
+
+// endSnapshot retires the attempt's snapshot, if any.
+func (tx *lockTx) endSnapshot() {
+	if tx.snap != 0 {
+		tx.db.Snap.EndSnapshot(tx.s.worker)
+		tx.snap = 0
+	}
+}
 
 // acquire obtains a lock with wait-time accounting, drawing the request
 // from the session freelist. On failure the request is quiescent (the
@@ -171,6 +236,17 @@ func (tx *lockTx) Read(row *storage.Row) ([]byte, error) {
 	if row == nil {
 		return nil, fatalf("read of nil row")
 	}
+	if tx.snap != 0 {
+		// Snapshot path: resolve the newest version committed at or
+		// before the snapshot with a latch-free chain walk. No lock
+		// manager, no request, no allocation.
+		tx.db.Global.RecordPartAccess(row.PartitionID)
+		if img, ok := row.Versions.ReadAt(tx.snap); ok {
+			tx.snapReads++
+			return img, nil
+		}
+		return nil, errSnapshotFallback
+	}
 	if i, ok := tx.byRow[row]; ok {
 		return tx.accesses[i].req.Data, nil
 	}
@@ -187,6 +263,10 @@ func (tx *lockTx) Read(row *storage.Row) ([]byte, error) {
 func (tx *lockTx) Update(row *storage.Row, mutate func(img []byte)) error {
 	if row == nil {
 		return fatalf("update of nil row")
+	}
+	if tx.snap != 0 {
+		// A write inside a read-only attempt: restart on the locking path.
+		return errSnapshotFallback
 	}
 	if i, ok := tx.byRow[row]; ok {
 		a := &tx.accesses[i]
@@ -338,6 +418,9 @@ func (tx *lockTx) Insert(tbl *storage.Table, key uint64, img []byte) error {
 	if tbl == nil {
 		return fatalf("insert into nil table")
 	}
+	if tx.snap != 0 {
+		return errSnapshotFallback
+	}
 	tx.inserts = append(tx.inserts, insertOp{tbl: tbl, key: key, img: img})
 	return nil
 }
@@ -345,6 +428,7 @@ func (tx *lockTx) Insert(tbl *storage.Table, key uint64, img []byte) error {
 // rollback releases every lock with is_abort, recycles the requests and
 // drops buffered inserts.
 func (tx *lockTx) rollback() {
+	tx.endSnapshot()
 	for i := range tx.accesses {
 		tx.db.Lock.Release(tx.accesses[i].req, true)
 		tx.s.pool.Put(tx.accesses[i].req)
@@ -411,6 +495,7 @@ func (s *lockSession) Run(fn TxnFunc) error {
 	t.Renew(s.db.NextTxnID())
 	cfg := &s.db.cfg
 	tx := &s.tx
+	tx.roFallback = false
 	for {
 		if !cfg.DynamicTS && !t.HasTS() {
 			s.db.Lock.AssignTS(t)
@@ -429,6 +514,13 @@ func (s *lockSession) Run(fn TxnFunc) error {
 			tx.rollback()
 			s.col.RecordAbort(txn.CauseUser, execTime, tx.lockWait, 0)
 			return nil // final: user aborts are not retried
+		case errors.Is(err, errSnapshotFallback):
+			// Internal restart: the snapshot attempt held no locks and
+			// logged nothing, so this is neither a commit nor an abort.
+			// Retry immediately on the locking path.
+			tx.endSnapshot()
+			tx.roFallback = true
+			continue
 		case err == nil || isProtocolAbort(err):
 			cause := t.Cause()
 			if cause == txn.CauseNone {
@@ -442,6 +534,18 @@ func (s *lockSession) Run(fn TxnFunc) error {
 		default:
 			tx.rollback()
 			return err // programming error
+		}
+
+		// A snapshot attempt commits by just retiring its snapshot: it
+		// holds no locks, wrote nothing, and nothing can wound it (zero
+		// lock presence), so the semaphore wait, the commit CAS and the
+		// whole logging window do not apply. Zero allocations.
+		if tx.snap != 0 {
+			tx.endSnapshot()
+			t.FinishCommit()
+			s.col.SnapshotReads += tx.snapReads
+			s.col.RecordCommit(execTime, 0, 0)
+			return nil
 		}
 
 		// Wait for transactions this one depends on (commit_semaphore),
@@ -503,9 +607,15 @@ func (s *lockSession) Run(fn TxnFunc) error {
 			} else if err := s.commitPartitioned(tx); err != nil {
 				return err
 			}
-			for _, ins := range tx.inserts {
-				if _, err := ins.tbl.InsertRow(ins.key, ins.img); err != nil {
-					return fatalf("apply insert: %v", err)
+			if s.db.Snap != nil {
+				if err := s.installVersions(tx); err != nil {
+					return err
+				}
+			} else {
+				for _, ins := range tx.inserts {
+					if _, err := ins.tbl.InsertRow(ins.key, ins.img); err != nil {
+						return fatalf("apply insert: %v", err)
+					}
 				}
 			}
 			if h := s.db.onCommit; h != nil {
@@ -561,15 +671,65 @@ func (s *lockSession) commitPoint(tx *lockTx) error {
 	} else if err := s.commitPartitioned(tx); err != nil {
 		return err
 	}
-	for _, ins := range tx.inserts {
-		if _, err := ins.tbl.InsertRow(ins.key, ins.img); err != nil {
-			return fatalf("apply insert: %v", err)
+	if s.db.Snap != nil {
+		if err := s.installVersions(tx); err != nil {
+			return err
+		}
+	} else {
+		for _, ins := range tx.inserts {
+			if _, err := ins.tbl.InsertRow(ins.key, ins.img); err != nil {
+				return fatalf("apply insert: %v", err)
+			}
 		}
 	}
 	if h := s.db.onCommit; h != nil {
 		h(s.worker, t.ID, t.TS(), tx.Accesses(), len(tx.inserts))
 	}
 	tx.releaseCommitted()
+	return nil
+}
+
+// installVersions publishes the attempt's after-images into the row
+// version chains and applies buffered inserts (MVCC path of the commit
+// point; the non-MVCC insert loop stays inline for statement identity).
+// Everything is stamped with one commit timestamp drawn inside the
+// snapshot table's in-flight window, so snapshot readers observe the
+// whole commit or none of it. Version tails superseded below the reclaim
+// watermark are detached with one node reused — steady-state version
+// turnover on hot rows allocates nothing. Read-only locking-path attempts
+// skip the window entirely.
+func (s *lockSession) installVersions(tx *lockTx) error {
+	wrote := len(tx.inserts) > 0
+	if !wrote {
+		for i := range tx.accesses {
+			if tx.accesses[i].mode == lock.EX {
+				wrote = true
+				break
+			}
+		}
+	}
+	if !wrote {
+		return nil
+	}
+	st := s.db.Snap
+	cts := st.BeginCommit(s.worker, s.alloc)
+	rts := st.Reclaim()
+	reclaimed := 0
+	for i := range tx.accesses {
+		a := &tx.accesses[i]
+		if a.mode == lock.EX {
+			_, rec := a.row.Versions.Install(a.req.Data, cts, rts)
+			reclaimed += rec
+		}
+	}
+	for _, ins := range tx.inserts {
+		if _, err := ins.tbl.InsertRowAt(ins.key, ins.img, cts); err != nil {
+			st.EndCommit(s.worker)
+			return fatalf("apply insert: %v", err)
+		}
+	}
+	st.EndCommit(s.worker)
+	s.col.VersionsPruned += uint64(reclaimed)
 	return nil
 }
 

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"bamboo/internal/storage"
+	"bamboo/internal/txn"
+)
+
+// Background version pruning for the MVCC read path.
+//
+// Hot rows reclaim their own version tails: every commit-time install
+// detaches (and reuses a node of) the tail superseded below the reclaim
+// watermark, so turnover on contended rows allocates nothing in steady
+// state. What installs cannot do is advance the watermark or trim rows
+// that stopped being written — that is this goroutine's job. Each tick it
+// advances the watermark (SnapshotTable.AdvanceReclaim, keyed off the
+// oldest active snapshot and in-flight commit); every sweepEvery ticks it
+// also walks the catalog and prunes cold rows' chains, feeding the
+// versions_pruned / version_chain_max telemetry.
+
+// defaultPruneInterval is the watermark-advance tick when
+// Config.MVCCPruneInterval is zero.
+const defaultPruneInterval = 2 * time.Millisecond
+
+// sweepEvery is the number of watermark ticks per full catalog sweep.
+// Watermark advance is cheap and keeps install-time reuse effective;
+// whole-table sweeps are not, so they run at a coarser cadence.
+const sweepEvery = 25
+
+// prunerSlot is the TSAlloc slot the pruner draws watermark candidates
+// from: the last slot of the folded worker-id space, which no benchmark
+// or test session uses (sessions would need 1024 concurrent workers to
+// collide).
+const prunerSlot = txn.TSWorkerSlots - 1
+
+type pruner struct {
+	db    *DB
+	alloc *txn.TSAlloc
+	quit  chan struct{}
+	done  chan struct{}
+	once  sync.Once
+}
+
+func startPruner(db *DB) *pruner {
+	p := &pruner{
+		db:    db,
+		alloc: txn.NewTSAlloc(prunerSlot),
+		quit:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	db.Snap.Register(prunerSlot)
+	go p.run()
+	return p
+}
+
+func (p *pruner) stop() {
+	p.once.Do(func() { close(p.quit) })
+	<-p.done
+}
+
+func (p *pruner) run() {
+	defer close(p.done)
+	interval := p.db.cfg.MVCCPruneInterval
+	if interval <= 0 {
+		interval = defaultPruneInterval
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for n := 0; ; n++ {
+		select {
+		case <-p.quit:
+			return
+		case <-tick.C:
+		}
+		w := p.db.Snap.AdvanceReclaim(p.alloc)
+		if n%sweepEvery == sweepEvery-1 {
+			p.sweep(w)
+		}
+	}
+}
+
+// sweep prunes every row's chain against watermark w and records the
+// telemetry. Row visits take only the index shards' read locks; chain
+// pruning itself is latch-free and arbitration with concurrent installs
+// is a CAS on the detach link.
+func (p *pruner) sweep(w uint64) {
+	var pruned, maxLen uint64
+	for _, tbl := range p.db.Catalog.AllTables() {
+		tbl.Range(func(_ uint64, r *storage.Row) bool {
+			n, rec := r.Versions.Prune(w)
+			pruned += uint64(rec)
+			if uint64(n) > maxLen {
+				maxLen = uint64(n)
+			}
+			return true
+		})
+	}
+	p.db.Global.RecordVersionsPruned(pruned)
+	p.db.Global.RecordVersionChainLen(maxLen)
+}

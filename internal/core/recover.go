@@ -106,7 +106,26 @@ func (db *DB) ReplayDirCheckpointed(dir, ckptDir string, parallel bool) (ReplayS
 		total.CheckpointRows += stats[p].CheckpointRows
 		total.CheckpointsBad += stats[p].CheckpointsBad
 	}
+	if db.Snap != nil {
+		db.reseedVersions()
+	}
 	return total, nil
+}
+
+// reseedVersions resets every row's version chain to its recovered
+// committed image at ts 0. Versions are volatile — the log and
+// checkpoints carry only the newest committed image — so recovery
+// rebuilds a single-version chain per row and snapshot history restarts
+// fresh. Replay applies images through Entry.Init, which bypasses the
+// chains; without this pass a post-recovery snapshot would read the
+// loader's stale seed. Runs single-threaded after replay completes.
+func (db *DB) reseedVersions() {
+	for _, tbl := range db.Catalog.AllTables() {
+		tbl.Range(func(_ uint64, r *storage.Row) bool {
+			r.Versions.Seed(0, r.Entry.CurrentData())
+			return true
+		})
+	}
 }
 
 func (db *DB) replayLog(dir, ckptDir string, p int) (ReplayStats, error) {

@@ -115,6 +115,13 @@ func (t *latencyTx) Insert(tbl *storage.Table, key uint64, img []byte) error {
 // and retires immediately.
 func (t *latencyTx) DeclareOps(int) {}
 
+// MarkReadOnly forwards the snapshot-mode opt-in to the wrapped engine.
+// latencyTx embeds the Tx interface, whose method set does not include
+// MarkReadOnly, so without this forward core.MarkReadOnly would never
+// see the underlying transaction. Snapshot reads are lock-free on the
+// server but still pay the per-operation round trip.
+func (t *latencyTx) MarkReadOnly() bool { return core.MarkReadOnly(t.Tx) }
+
 // sleep waits for very short durations by spinning (timer granularity on
 // Linux makes time.Sleep overshoot badly below ~100µs) and sleeps
 // otherwise. The spin yields the processor each iteration: a network

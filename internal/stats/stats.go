@@ -32,6 +32,12 @@ type Collector struct {
 	// Lat holds the latency of every committed transaction in a
 	// fixed-bucket log-linear histogram (bounded memory, no sampling).
 	Lat Hist
+
+	// SnapshotReads counts row reads served by the MVCC snapshot path
+	// (zero lock acquisitions); VersionsPruned counts version nodes this
+	// worker reclaimed at install time. Both zero on non-MVCC runs.
+	SnapshotReads  uint64
+	VersionsPruned uint64
 }
 
 // Global holds the counters that are recorded from inside the shared lock
@@ -44,6 +50,12 @@ type Global struct {
 	Cascades atomic.Uint64
 	ChainSum atomic.Uint64
 	ChainMax atomic.Uint64
+
+	// MVCC version telemetry recorded by the background pruner (which has
+	// no per-worker collector): nodes reclaimed by sweeps and the longest
+	// version chain observed.
+	VersionsPruned  atomic.Uint64
+	VersionChainMax atomic.Uint64
 
 	// parts is sized once at DB construction (InitPartitions) and never
 	// resized, so the hot-path Record calls are a bounds check and an
@@ -105,6 +117,23 @@ func snapshotParts(parts []PartitionCounter, get func(*PartitionCounter) uint64)
 	return out
 }
 
+// RecordVersionsPruned adds n reclaimed version nodes.
+func (g *Global) RecordVersionsPruned(n uint64) {
+	if n > 0 {
+		g.VersionsPruned.Add(n)
+	}
+}
+
+// RecordVersionChainLen folds one observed chain length into the maximum.
+func (g *Global) RecordVersionChainLen(n uint64) {
+	for {
+		cur := g.VersionChainMax.Load()
+		if n <= cur || g.VersionChainMax.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
 // RecordWound counts one wounded transaction.
 func (g *Global) RecordWound() { g.Wounds.Add(1) }
 
@@ -155,6 +184,8 @@ func (c *Collector) Merge(other *Collector) {
 	if other.Elapsed > c.Elapsed {
 		c.Elapsed = other.Elapsed
 	}
+	c.SnapshotReads += other.SnapshotReads
+	c.VersionsPruned += other.VersionsPruned
 	c.Lat.Merge(&other.Lat)
 }
 
@@ -184,6 +215,14 @@ type Report struct {
 	Cascades uint64
 	AvgChain float64
 	MaxChain uint64
+
+	// MVCC snapshot-read telemetry (zero on non-MVCC runs): reads served
+	// lock-free at a snapshot, version nodes reclaimed (install-time
+	// reuse plus background sweeps), and the longest version chain the
+	// pruner observed.
+	SnapshotReads   uint64
+	VersionsPruned  uint64
+	VersionChainMax uint64
 
 	// Per-partition telemetry (partition-aware runs only): accesses and
 	// conflicts per partition id, and the access skew — the hottest
@@ -244,6 +283,8 @@ func Summarize(protocol string, elapsed time.Duration, workers []*Collector, g *
 		AbortsBy: make(map[string]uint64),
 		Elapsed:  elapsed,
 	}
+	r.SnapshotReads = all.SnapshotReads
+	r.VersionsPruned = all.VersionsPruned
 	var cascades, chainSum uint64
 	if g != nil {
 		r.Wounds = g.Wounds.Load()
@@ -251,6 +292,8 @@ func Summarize(protocol string, elapsed time.Duration, workers []*Collector, g *
 		chainSum = g.ChainSum.Load()
 		r.Cascades = cascades
 		r.MaxChain = g.ChainMax.Load()
+		r.VersionsPruned += g.VersionsPruned.Load()
+		r.VersionChainMax = g.VersionChainMax.Load()
 		r.PartitionAccesses = g.PartitionAccesses()
 		r.PartitionConflicts = g.PartitionConflicts()
 		r.PartitionSkew = skewOf(r.PartitionAccesses)

@@ -25,6 +25,12 @@ type Row struct {
 	// lock-based engines use Entry.Data instead.
 	OCCImage atomic.Pointer[[]byte]
 
+	// Versions is the MVCC version chain: committed images stamped with
+	// their commit timestamp, newest first, resolved latch-free by
+	// snapshot readers. Maintained only on tables with versioning enabled
+	// (Catalog.SetMVCC); otherwise stays the empty zero value.
+	Versions VersionChain
+
 	// Key is the primary key the row was inserted under.
 	Key uint64
 	// PartitionID is the id of the partition the row lives in — the seam
@@ -46,6 +52,9 @@ type Table struct {
 	Schema *Schema
 	part   Partitioner
 	parts  []*Partition
+	// mvcc, set at creation from the owning catalog, makes inserts seed
+	// each row's version chain so snapshot readers can see it.
+	mvcc bool
 }
 
 // NewTable creates an empty single-partition table with a primary index
@@ -102,12 +111,49 @@ func (t *Table) InsertRow(key uint64, image []byte) (*Row, error) {
 	p := t.parts[pid]
 	r := &Row{Key: key, PartitionID: pid, Table: t}
 	r.Entry.Init(image)
+	if t.mvcc {
+		// Seeded at ts 0: a loaded row is visible to every snapshot.
+		r.Versions.Seed(0, image)
+	}
 	if !p.index.Insert(key, r) {
 		return nil, fmt.Errorf("storage: duplicate key %d in table %s", key, t.Schema.Name)
 	}
 	p.count.Add(1)
 	return r, nil
 }
+
+// InsertRowAt is InsertRow for commit-time inserts on a versioned table:
+// the new row's version chain is seeded at commit timestamp ts, so
+// snapshots older than the inserting transaction do not see it. On a
+// non-versioned table it behaves exactly like InsertRow.
+func (t *Table) InsertRowAt(key uint64, image []byte, ts uint64) (*Row, error) {
+	if image == nil {
+		image = t.Schema.NewRowImage()
+	}
+	if len(image) != t.Schema.RowSize() {
+		return nil, fmt.Errorf("storage: image size %d != schema size %d for table %s",
+			len(image), t.Schema.RowSize(), t.Schema.Name)
+	}
+	pid := t.part.Partition(key)
+	if pid < 0 || pid >= len(t.parts) {
+		return nil, fmt.Errorf("storage: key %d routed to partition %d of %d in table %s",
+			key, pid, len(t.parts), t.Schema.Name)
+	}
+	p := t.parts[pid]
+	r := &Row{Key: key, PartitionID: pid, Table: t}
+	r.Entry.Init(image)
+	if t.mvcc {
+		r.Versions.Seed(ts, image)
+	}
+	if !p.index.Insert(key, r) {
+		return nil, fmt.Errorf("storage: duplicate key %d in table %s", key, t.Schema.Name)
+	}
+	p.count.Add(1)
+	return r, nil
+}
+
+// MVCC reports whether the table maintains version chains.
+func (t *Table) MVCC() bool { return t.mvcc }
 
 // MustInsertRow is InsertRow that panics on error; used by loaders.
 func (t *Table) MustInsertRow(key uint64, image []byte) *Row {
@@ -261,6 +307,9 @@ func (idx *HashIndex) Len() int {
 type Catalog struct {
 	mu     sync.RWMutex
 	tables map[string]*Table
+	// mvcc makes every table created in this catalog maintain version
+	// chains (SetMVCC; set before any table exists).
+	mvcc bool
 }
 
 // NewCatalog returns an empty catalog.
@@ -281,8 +330,21 @@ func (c *Catalog) CreateTablePartitioned(schema *Schema, expectRows int, p Parti
 		return nil, fmt.Errorf("storage: table %q already exists", schema.Name)
 	}
 	t := NewPartitionedTable(schema, expectRows, p)
+	t.mvcc = c.mvcc
 	c.tables[schema.Name] = t
 	return t, nil
+}
+
+// SetMVCC makes tables created in this catalog maintain per-row version
+// chains (and applies to already-registered tables, for tests). Call
+// before loading any data.
+func (c *Catalog) SetMVCC(on bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.mvcc = on
+	for _, t := range c.tables {
+		t.mvcc = on
+	}
 }
 
 // MustCreateTable is CreateTable that panics on error.
@@ -309,6 +371,18 @@ func (c *Catalog) Table(name string) *Table {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	return c.tables[name]
+}
+
+// AllTables returns the tables in the catalog (unspecified order); the
+// version pruner sweeps over this.
+func (c *Catalog) AllTables() []*Table {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]*Table, 0, len(c.tables))
+	for _, t := range c.tables {
+		out = append(out, t)
+	}
+	return out
 }
 
 // Tables returns the table names in the catalog.

@@ -1,0 +1,158 @@
+package txn
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestSnapshotSeesCompletedCommit: a snapshot drawn after a commit window
+// closes must observe that commit (snap ≥ cts).
+func TestSnapshotSeesCompletedCommit(t *testing.T) {
+	st := NewSnapshotTable()
+	st.Register(0)
+	st.Register(1)
+	w := NewTSAlloc(0)
+	r := NewTSAlloc(1)
+
+	cts := st.BeginCommit(0, w)
+	st.EndCommit(0)
+	snap := st.AcquireSnapshot(1, r)
+	defer st.EndSnapshot(1)
+	if snap < cts {
+		t.Fatalf("snapshot %d below completed commit %d", snap, cts)
+	}
+}
+
+// TestSnapshotExcludesInFlightCommit: a snapshot drawn while a commit
+// window is open must land strictly below the in-flight commit timestamp,
+// because that commit's versions may be half installed across rows.
+func TestSnapshotExcludesInFlightCommit(t *testing.T) {
+	st := NewSnapshotTable()
+	st.Register(0)
+	st.Register(1)
+	w := NewTSAlloc(0)
+	r := NewTSAlloc(1)
+
+	cts := st.BeginCommit(0, w)
+	snap := st.AcquireSnapshot(1, r)
+	st.EndSnapshot(1)
+	st.EndCommit(0)
+	if snap >= cts {
+		t.Fatalf("snapshot %d does not exclude in-flight commit %d", snap, cts)
+	}
+}
+
+// TestReclaimMonotone: AdvanceReclaim never moves the watermark backward.
+func TestReclaimMonotone(t *testing.T) {
+	st := NewSnapshotTable()
+	st.Register(0)
+	a := NewTSAlloc(0)
+	var last uint64
+	for i := 0; i < 100; i++ {
+		w := st.AdvanceReclaim(a)
+		if w < last {
+			t.Fatalf("watermark went backward: %d after %d", w, last)
+		}
+		last = w
+	}
+	if last == 0 {
+		t.Fatal("watermark never advanced")
+	}
+}
+
+// TestReclaimBoundedByActiveSnapshot: while a snapshot is held, the
+// watermark must not pass it, no matter how many advances run.
+func TestReclaimBoundedByActiveSnapshot(t *testing.T) {
+	st := NewSnapshotTable()
+	st.Register(0)
+	st.Register(1)
+	r := NewTSAlloc(0)
+	p := NewTSAlloc(1)
+
+	snap := st.AcquireSnapshot(0, r)
+	for i := 0; i < 50; i++ {
+		if w := st.AdvanceReclaim(p); w > snap {
+			t.Fatalf("watermark %d passed active snapshot %d", w, snap)
+		}
+		time.Sleep(50 * time.Microsecond)
+	}
+	st.EndSnapshot(0)
+
+	// With the snapshot retired the watermark must eventually pass it.
+	deadline := time.Now().Add(2 * time.Second)
+	for st.AdvanceReclaim(p) <= snap {
+		if time.Now().After(deadline) {
+			t.Fatal("watermark never advanced past a retired snapshot")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestSnapshotReclaimStress is the adversarial interleaving test for the
+// three-party protocol: concurrent committing writers, snapshot readers
+// and a watermark-advancing pruner. The invariant under test is the one
+// reclamation depends on — while a reader holds a snapshot, the reclaim
+// watermark never exceeds it (a violated watermark would let the pruner
+// reclaim a version the reader is about to read). Run with -race.
+func TestSnapshotReclaimStress(t *testing.T) {
+	st := NewSnapshotTable()
+	const writers, readers = 3, 3
+	prunerSlot := writers + readers
+	for i := 0; i <= prunerSlot; i++ {
+		st.Register(i)
+	}
+
+	var (
+		stop      atomic.Bool
+		violation atomic.Value // string
+		wg        sync.WaitGroup
+	)
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			alloc := NewTSAlloc(worker)
+			for !stop.Load() {
+				st.BeginCommit(worker, alloc)
+				runtime.Gosched() // widen the in-flight window
+				st.EndCommit(worker)
+			}
+		}(i)
+	}
+	for i := writers; i < writers+readers; i++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			alloc := NewTSAlloc(worker)
+			for !stop.Load() {
+				snap := st.AcquireSnapshot(worker, alloc)
+				for k := 0; k < 4; k++ {
+					if w := st.Reclaim(); w > snap {
+						violation.Store("watermark passed active snapshot")
+						stop.Store(true)
+					}
+					runtime.Gosched()
+				}
+				st.EndSnapshot(worker)
+			}
+		}(i)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		alloc := NewTSAlloc(prunerSlot)
+		for !stop.Load() {
+			st.AdvanceReclaim(alloc)
+		}
+	}()
+
+	time.Sleep(300 * time.Millisecond)
+	stop.Store(true)
+	wg.Wait()
+	if v := violation.Load(); v != nil {
+		t.Fatal(v)
+	}
+}

@@ -257,6 +257,93 @@ func RunBankConservation(t *testing.T, e core.Engine, accounts, workers, perWork
 	checkEntriesDrained(t, e, tbl, accounts)
 }
 
+// RunSnapshotConsistency is the MVCC snapshot-read oracle: transfer
+// writers run through the locking path while read-only transactions sum
+// every account at a snapshot timestamp. Because a transfer moves money
+// between two rows under one commit timestamp, a snapshot observing a
+// transaction-consistent prefix of history sums to exactly the invariant
+// at *every* snapshot — a torn read (one leg of a transfer visible, the
+// other not) breaks the sum immediately. The engine must be backed by an
+// MVCC-enabled DB; the run fails if no read was actually served from the
+// snapshot path (the oracle would be vacuous).
+func RunSnapshotConsistency(t *testing.T, e core.Engine, accounts, workers, perWorker int) {
+	t.Helper()
+	db := e.Database()
+	schema := storage.NewSchema("accounts",
+		storage.Column{Name: "balance", Type: storage.ColInt64})
+	tbl := db.Catalog.MustCreateTable(schema, accounts)
+	const initial = 1000
+	for k := 0; k < accounts; k++ {
+		img := schema.NewRowImage()
+		schema.SetInt64(img, 0, initial)
+		tbl.MustInsertRow(uint64(k), img)
+	}
+	want := int64(accounts * initial)
+
+	var torn atomic.Int64 // first inconsistent sum observed (0 = none)
+	gen := func(worker, seq int) core.TxnFunc {
+		if worker%2 == 0 {
+			// Writer: a two-account transfer on the locking path.
+			rng := rand.New(rand.NewSource(int64(worker)*1e6 + int64(seq)))
+			from := rng.Intn(accounts)
+			to := rng.Intn(accounts - 1)
+			if to >= from {
+				to++
+			}
+			amount := int64(rng.Intn(50) + 1)
+			return func(tx core.Tx) error {
+				tx.DeclareOps(2)
+				if err := tx.Update(tbl.Get(uint64(from)), func(img []byte) {
+					schema.AddInt64(img, 0, -amount)
+				}); err != nil {
+					return err
+				}
+				return tx.Update(tbl.Get(uint64(to)), func(img []byte) {
+					schema.AddInt64(img, 0, amount)
+				})
+			}
+		}
+		// Reader: sum every account at one snapshot.
+		return func(tx core.Tx) error {
+			core.MarkReadOnly(tx)
+			tx.DeclareOps(accounts)
+			var sum int64
+			for k := 0; k < accounts; k++ {
+				img, err := tx.Read(tbl.Get(uint64(k)))
+				if err != nil {
+					return err
+				}
+				sum += schema.GetInt64(img, 0)
+			}
+			if sum != want {
+				torn.CompareAndSwap(0, sum)
+			}
+			return nil
+		}
+	}
+	res := core.RunN(e, workers, perWorker, gen)
+	if res.Err != nil {
+		t.Fatalf("%s: run failed: %v", e.Name(), res.Err)
+	}
+	if s := torn.Load(); s != 0 {
+		t.Fatalf("%s: snapshot read observed a torn total %d, want %d "+
+			"(a transfer was half visible — the snapshot is not transaction-consistent)",
+			e.Name(), s, want)
+	}
+	if res.Report.SnapshotReads == 0 {
+		t.Fatalf("%s: no reads served from the snapshot path — the oracle ran vacuously", e.Name())
+	}
+	var total int64
+	tbl.Range(func(_ uint64, row *storage.Row) bool {
+		total += schema.GetInt64(RowImage(row), 0)
+		return true
+	})
+	if total != want {
+		t.Fatalf("%s: final total = %d, want %d (money not conserved)", e.Name(), total, want)
+	}
+	checkEntriesDrained(t, e, tbl, accounts)
+}
+
 // RowImage returns the row's committed image regardless of engine: the
 // OCC-published image when present, else the lock entry's image.
 func RowImage(row *storage.Row) []byte {

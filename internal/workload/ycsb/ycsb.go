@@ -39,6 +39,12 @@ type Config struct {
 	// (Figure 7 uses 1000).
 	LongReadFrac float64
 	LongReadOps  int
+	// ReadOnlyFrac is the fraction of transactions issued as declared
+	// read-only: all accesses are reads and the body opts into the MVCC
+	// snapshot path via core.MarkReadOnly (a no-op returning false when
+	// the engine runs without MVCC — the plan still executes, through
+	// shared locks). 0 keeps the classic mixed transactions only.
+	ReadOnlyFrac float64
 	// RMWFrac is the fraction of update accesses issued un-annotated: the
 	// transaction Reads the row first and Updates it afterwards, so the
 	// executor must upgrade the shared lock to exclusive in place instead
@@ -169,6 +175,19 @@ func (w *Workload) NewGenerator(worker int) func(seq int) core.TxnFunc {
 				tx.DeclareOps(nOps)
 				for i := 0; i < nOps; i++ {
 					if _, err := tx.Read(w.tbl.Get(start + uint64(i))); err != nil {
+						return err
+					}
+				}
+				return nil
+			}
+		}
+		if w.cfg.ReadOnlyFrac > 0 && rng.Float64() < w.cfg.ReadOnlyFrac {
+			ops := w.planTxn(z, rng)
+			return func(tx core.Tx) error {
+				core.MarkReadOnly(tx)
+				tx.DeclareOps(len(ops))
+				for _, o := range ops {
+					if _, err := tx.Read(w.tbl.Get(o.key)); err != nil {
 						return err
 					}
 				}
