@@ -148,6 +148,17 @@ type Options struct {
 	WALDir           string
 	WALFsync         FsyncPolicy
 	WALFsyncInterval time.Duration
+	// MetricsAddr, when set, serves live observability endpoints
+	// (/metrics Prometheus text exposition, /debug/vars JSON, /healthz)
+	// on this address for the DB's lifetime; ":0" binds a free port —
+	// read it back with DB.MetricsAddr. See docs/METRICS.md for the
+	// exported series. Empty (the default) disables the endpoint at zero
+	// hot-path cost.
+	MetricsAddr string
+	// MetricsInterval is the rate-collector tick deriving per-second
+	// gauges (commits/sec, aborts/sec, ...) from successive counter
+	// samples; 0 = 1s. Only meaningful with MetricsAddr.
+	MetricsInterval time.Duration
 }
 
 // FsyncPolicy re-exports the WAL fsync policies for Options.WALFsync.
@@ -204,6 +215,8 @@ func Open(opts Options) *DB {
 	cfg.WALDir = opts.WALDir
 	cfg.WALFsync = opts.WALFsync
 	cfg.WALFsyncInterval = opts.WALFsyncInterval
+	cfg.MetricsAddr = opts.MetricsAddr
+	cfg.MetricsInterval = opts.MetricsInterval
 
 	db := &DB{inner: core.NewDB(cfg)}
 	if opts.Protocol == Silo {
@@ -229,6 +242,11 @@ func (db *DB) Close() {
 
 // Protocol returns the display name of the configured protocol.
 func (db *DB) Protocol() string { return db.engine.Name() }
+
+// MetricsAddr returns the bound address of the metrics endpoint ("" when
+// Options.MetricsAddr was empty). With ":0" this is where the server
+// actually listens.
+func (db *DB) MetricsAddr() string { return db.inner.MetricsAddr() }
 
 // CreateTable creates a table, panicking on duplicate names (schema setup
 // is static).

@@ -1,0 +1,91 @@
+#!/usr/bin/env bash
+# Vacuous-exporter guard: run a real benchmark with the live metrics
+# endpoint enabled and scrape /metrics mid-run. The endpoint must show the
+# counters actually moving — per-partition conflicts, WAL fsyncs, latency
+# quantiles — not just render valid exposition over zeros. A refactor that
+# detaches the Live mirror, drops the partition counters, or stops wiring
+# WAL stats keeps every unit test green; this catches it.
+#
+# The workload is the durability sweep at quick scale: file-backed WALs
+# (so bamboo_wal_syncs_total must advance) under zipfian contention (so
+# bamboo_partition_conflicts_total must advance). Run it locally:
+#
+#   go build -o bamboo-bench ./cmd/bamboo-bench
+#   ci/metrics-scrape.sh
+set -euo pipefail
+
+BENCH="${BENCH:-./bamboo-bench}"
+BASE="${TMPDIR_BASE:-${RUNNER_TEMP:-/tmp}}/metrics-scrape"
+rm -rf "$BASE"
+mkdir -p "$BASE"
+
+"$BENCH" -exp durability -quick -metrics-addr 127.0.0.1:0 \
+  > "$BASE/bench.log" 2>&1 &
+pid=$!
+
+# The bench prints "metrics: http://<addr>/metrics" to stderr once the
+# endpoint is bound; the port is kernel-assigned, so parse it out.
+addr=""
+for _ in $(seq 1 100); do
+  addr="$(sed -n 's#^metrics: http://\([^/]*\)/metrics$#\1#p' "$BASE/bench.log" 2>/dev/null | head -1)"
+  [ -n "$addr" ] && break
+  sleep 0.1
+done
+if [ -z "$addr" ]; then
+  echo "bench never printed its metrics address"
+  cat "$BASE/bench.log"
+  exit 1
+fi
+echo "scraping http://$addr/metrics"
+
+# Poll while the bench runs. Any single scrape may land in the gap
+# between benchmark points (bamboo_up 0, no counters), so each required
+# series only needs to show a nonzero value in SOME scrape.
+saw_conflicts=0
+saw_syncs=0
+saw_quantile=0
+scrapes=0
+while kill -0 "$pid" 2>/dev/null; do
+  if curl -sf "http://$addr/metrics" > "$BASE/scrape.txt" 2>/dev/null; then
+    scrapes=$((scrapes + 1))
+    if grep -Eq '^bamboo_partition_conflicts_total\{partition="[0-9]+"\} [1-9]' "$BASE/scrape.txt"; then
+      [ "$saw_conflicts" = 1 ] || cp "$BASE/scrape.txt" "$BASE/scrape-conflicts.txt"
+      saw_conflicts=1
+    fi
+    if grep -Eq '^bamboo_wal_syncs_total [1-9]' "$BASE/scrape.txt"; then
+      [ "$saw_syncs" = 1 ] || cp "$BASE/scrape.txt" "$BASE/scrape-syncs.txt"
+      saw_syncs=1
+    fi
+    if grep -Eq '^bamboo_txn_latency_seconds\{quantile="0\.99"\} [0-9]' "$BASE/scrape.txt"; then
+      saw_quantile=1
+    fi
+  fi
+  sleep 0.2
+done
+wait "$pid" || { echo "bench run failed"; cat "$BASE/bench.log"; exit 1; }
+
+echo "scrapes: $scrapes (conflicts=$saw_conflicts syncs=$saw_syncs quantile=$saw_quantile)"
+fail=0
+if [ "$saw_conflicts" != 1 ]; then
+  echo "FAIL: no scrape showed a nonzero bamboo_partition_conflicts_total"
+  fail=1
+fi
+if [ "$saw_syncs" != 1 ]; then
+  echo "FAIL: no scrape showed a nonzero bamboo_wal_syncs_total"
+  fail=1
+fi
+if [ "$saw_quantile" != 1 ]; then
+  echo "FAIL: no scrape showed bamboo_txn_latency_seconds quantiles"
+  fail=1
+fi
+if [ "$fail" != 0 ]; then
+  echo "== last scrape =="
+  cat "$BASE/scrape.txt" 2>/dev/null || echo "(no successful scrape)"
+  exit 1
+fi
+
+# Show a mid-run sample in the job log: the per-partition conflict series
+# and the latency summary operators would dashboard.
+echo "== sample mid-run scrape (conflict + latency series) =="
+grep -E '^bamboo_(partition_conflicts_total|wal_syncs_total|txn_latency_seconds)' \
+  "$BASE/scrape-conflicts.txt" | head -20

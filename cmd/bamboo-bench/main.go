@@ -34,6 +34,7 @@ import (
 
 	"bamboo/internal/bench"
 	"bamboo/internal/bench/report"
+	"bamboo/internal/telemetry"
 )
 
 func main() {
@@ -51,6 +52,7 @@ func main() {
 		jsonOut  = flag.Bool("json", false, "emit the schema-versioned JSON result document")
 		csvOut   = flag.Bool("csv", false, "emit results as one flat CSV table")
 		out      = flag.String("out", "", "write -json/-csv output to this file instead of stdout")
+		metrics  = flag.String("metrics-addr", "", "serve live telemetry (/metrics, /debug/vars, /healthz) on this address for the whole run; \":0\" picks a free port (printed to stderr)")
 	)
 	flag.Parse()
 
@@ -108,6 +110,22 @@ func main() {
 	// gate pins a single read-heavy point the same way.
 	s.Partitions = *parts
 	s.ReadOnlyFrac = *roFrac
+
+	// One process-level registry outlives every benchmark point: each
+	// point's DB attaches on creation and detaches on close, so a scraper
+	// polling the address sees whichever point is live (bamboo_up 0 in
+	// the gaps between points).
+	if *metrics != "" {
+		reg := telemetry.NewRegistry()
+		addr, err := reg.Serve(*metrics)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "serve -metrics-addr %s: %v\n", *metrics, err)
+			os.Exit(1)
+		}
+		defer reg.Close()
+		fmt.Fprintf(os.Stderr, "metrics: http://%s/metrics\n", addr)
+		s.Metrics = reg
+	}
 
 	var run []bench.Experiment
 	if *exp == "all" {

@@ -72,6 +72,8 @@ func main() {
 		truncate     = flag.Bool("truncate", false, "unlink checkpoint-covered log segments (run mode)")
 		keep         = flag.Int("keep", 2, "snapshots to retain per partition (run mode)")
 
+		metricsAddr = flag.String("metrics-addr", "", "serve live telemetry (/metrics, /debug/vars, /healthz) on this address while running (run mode; \":0\" picks a free port, printed before READY)")
+
 		expectCorrupt  = flag.Bool("expect-corrupt", false, "recovery must FAIL with a corruption error (after -mode flip)")
 		maxReplayBytes = flag.Int64("max-replay-bytes", 0, "fail recovery if more applied log bytes replay")
 		maxWALBytes    = flag.Int64("max-wal-bytes", 0, "fail recovery if the WAL directory holds more bytes")
@@ -88,6 +90,7 @@ func main() {
 			duration: *duration, gc: *groupC, fsync: *fsync,
 			ckptDir: *ckptDir, ckptInterval: *ckptInterval, segBytes: *segBytes,
 			maxLogBytes: *maxLogBytes, truncate: *truncate, keep: *keep,
+			metricsAddr: *metricsAddr,
 		})
 	case "recover":
 		recoverMode(*walDir, *ckptDir, *partitions, *rows, *minRecords, *minCkpts,
@@ -155,6 +158,7 @@ type runConfig struct {
 	maxLogBytes  int64
 	truncate     bool
 	keep         int
+	metricsAddr  string
 }
 
 func runMode(rc runConfig) {
@@ -170,6 +174,7 @@ func runMode(rc runConfig) {
 	if rc.gc {
 		cfg.GroupCommitInterval = 200 * time.Microsecond
 	}
+	cfg.MetricsAddr = rc.metricsAddr
 	if rc.ckptDir != "" {
 		cfg.Checkpoint = core.CheckpointConfig{
 			Dir:          rc.ckptDir,
@@ -227,6 +232,9 @@ func runMode(rc runConfig) {
 		}
 	}
 
+	if addr := db.MetricsAddr(); addr != "" {
+		fmt.Printf("metrics: http://%s/metrics\n", addr)
+	}
 	// The supervisor waits for this line before scheduling the kill, so
 	// the SIGKILL always lands inside transaction processing.
 	fmt.Println("READY")

@@ -27,6 +27,7 @@ import (
 	"bamboo/internal/occ"
 	"bamboo/internal/rpcsim"
 	"bamboo/internal/stats"
+	"bamboo/internal/telemetry"
 	"bamboo/internal/wal"
 	"bamboo/internal/workload/synth"
 	"bamboo/internal/workload/tpcc"
@@ -64,6 +65,13 @@ type Scale struct {
 	// -partitions pins the partition ladder); 0 keeps the built-in
 	// 0.5/0.9/0.95/1.0 sweep.
 	ReadOnlyFrac float64
+	// Metrics, when non-nil, is a live telemetry registry every point's
+	// DB attaches to for the duration of its run (the bamboo-bench
+	// -metrics-addr flag serves one process-wide registry): a scraper
+	// sees whichever point is currently executing, and bamboo_up 0
+	// between points. Nil keeps benchmark DBs metrics-free — the
+	// baseline-comparable default.
+	Metrics *telemetry.Registry
 }
 
 // Quick is the configuration used by tests: small but contentious.
@@ -262,6 +270,7 @@ func runPointOnce(s Scale, b engineBuilder, interactive bool,
 	}
 	e, db, closer := b.make(parts)
 	defer closer()
+	db.EnableMetrics(s.Metrics)
 	loadStart := time.Now()
 	gen, err := load(db)
 	loadTime := time.Since(loadStart)
@@ -568,6 +577,7 @@ func runIC3Point(s Scale, cfg tpcc.Config, threads int) stats.Report {
 	// Same storage layout as the row-engine points of the figure, so the
 	// document's scale block stays truthful for the IC3 series too.
 	db := core.NewDB(core.Config{Partitions: s.Partitions})
+	db.EnableMetrics(s.Metrics)
 	loadStart := time.Now()
 	w, err := tpcc.Load(db, cfg)
 	if err != nil {

@@ -89,6 +89,12 @@ type Point struct {
 	AvgChain float64 `json:"avg_chain,omitempty"`
 	MaxChain uint64  `json:"max_chain,omitempty"`
 
+	// Lock-upgrade telemetry (additive + omitempty, absent in documents
+	// predating the counters): successful SH→EX promotions and retires
+	// (writes released early, Bamboo's core mechanism).
+	Upgrades uint64 `json:"upgrades,omitempty"`
+	Retires  uint64 `json:"retires,omitempty"`
+
 	// LoadNS is the workload load wall time for the point's fresh DB —
 	// the number the partition sweep's parallel-loader claim is gated on.
 	// PartitionAccesses/Conflicts and PartitionSkew (hottest partition's
@@ -213,6 +219,8 @@ func PointFrom(x string, r stats.Report) Point {
 		Cascades:           r.Cascades,
 		AvgChain:           r.AvgChain,
 		MaxChain:           r.MaxChain,
+		Upgrades:           r.Upgrades,
+		Retires:            r.Retires,
 		LoadNS:             int64(r.LoadTime),
 		PartitionAccesses:  r.PartitionAccesses,
 		PartitionConflicts: r.PartitionConflicts,

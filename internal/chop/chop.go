@@ -293,6 +293,7 @@ type Session struct {
 
 // NewSession creates a session.
 func (e *Engine) NewSession(worker int, col *stats.Collector) *Session {
+	col.AttachLive(e.db.LiveStats())
 	return &Session{e: e, worker: worker, col: col,
 		rng: rand.New(rand.NewSource(int64(worker)*6553 + 17))}
 }

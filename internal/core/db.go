@@ -19,6 +19,7 @@ import (
 	"bamboo/internal/lock"
 	"bamboo/internal/stats"
 	"bamboo/internal/storage"
+	"bamboo/internal/telemetry"
 	"bamboo/internal/txn"
 	"bamboo/internal/wal"
 )
@@ -125,6 +126,23 @@ type Config struct {
 	// off), and every few ticks sweeps cold rows' chains. Zero defaults
 	// to 2ms. Only meaningful with MVCC.
 	MVCCPruneInterval time.Duration
+
+	// MetricsAddr, when non-empty, serves the live telemetry endpoints
+	// (/metrics Prometheus text exposition, /debug/vars JSON, /healthz)
+	// on this address for the DB's lifetime; ":0" binds a free port
+	// (DB.MetricsAddr returns the bound address). The DB owns a
+	// telemetry.Registry, started in NewDB and stopped in Close. NewDB
+	// panics if the address cannot be bound — a DB whose operator asked
+	// for observability and silently lost it must not come up. Empty
+	// (the default) disables the endpoint and keeps the hot path free of
+	// atomic mirror writes; to share one registry (and port) across
+	// several DBs, leave this empty and call DB.EnableMetrics instead.
+	MetricsAddr string
+	// MetricsInterval is the periodic rate-collector tick (aborts/sec
+	// etc. are derived from successive counter samples outside the hot
+	// path); zero defaults to telemetry.DefaultCollectInterval. Only
+	// meaningful with MetricsAddr.
+	MetricsInterval time.Duration
 }
 
 // Bamboo returns the paper's full configuration: all four optimizations
@@ -183,6 +201,15 @@ type DB struct {
 	onCommit OnCommitHook
 	pruner   *pruner
 
+	// live is the atomic telemetry mirror every session's collector
+	// writes through when metrics are enabled (nil otherwise — the
+	// collectors then pay one nil check per record and nothing else).
+	live        *stats.Live
+	metrics     *telemetry.Registry
+	metricsSrc  *telemetry.Sources
+	ownMetrics  bool
+	metricsAddr string
+
 	// ckptGate closes the fuzzy-checkpoint race: commit windows hold it
 	// shared from log append through lock release, and the checkpointer
 	// takes it exclusively — only for the instant it reads the partition
@@ -227,8 +254,68 @@ func NewDB(cfg Config) *DB {
 		db.Snap = txn.NewSnapshotTable()
 		db.pruner = startPruner(db)
 	}
+	if cfg.MetricsAddr != "" {
+		reg := telemetry.NewRegistry()
+		reg.StartCollector(cfg.MetricsInterval)
+		addr, err := reg.Serve(cfg.MetricsAddr)
+		if err != nil {
+			panic(fmt.Sprintf("core: serve metrics on %s: %v", cfg.MetricsAddr, err))
+		}
+		db.ownMetrics = true
+		db.metricsAddr = addr
+		db.EnableMetrics(reg)
+	}
 	return db
 }
+
+// EnableMetrics attaches this DB's counters to reg, making it a live
+// scrape source: the sessions' stats collectors start mirroring into an
+// atomic stats.Live, and per-partition counters are initialized even on
+// the flat single-partition layout (the mirror is opt-in, so the
+// shared-cacheline cost the plain bench path avoids is accepted here).
+// Call before any NewSession — sessions created earlier keep a nil
+// mirror and their transactions stay invisible to the endpoint. No-op on
+// a nil registry or a DB that already has one. Close detaches.
+func (db *DB) EnableMetrics(reg *telemetry.Registry) {
+	if reg == nil || db.metrics != nil {
+		return
+	}
+	if db.Global.NumPartitions() == 0 {
+		db.Global.InitPartitions(db.Partitions())
+	}
+	db.live = &stats.Live{}
+	db.metrics = reg
+	db.metricsSrc = &telemetry.Sources{
+		Protocol: db.ProtocolName(),
+		Live:     db.live,
+		Global:   db.Global,
+		WAL:      db.WALStats,
+		Lifecycle: func() telemetry.LifecycleStats {
+			cs := db.CheckpointStats()
+			return telemetry.LifecycleStats{
+				Checkpoints:    cs.Checkpoints,
+				CheckpointTime: cs.Time,
+				Truncations:    cs.Truncations,
+				TruncatedBytes: cs.TruncatedBytes,
+				LogLiveBytes:   db.LogLiveBytes(),
+			}
+		},
+	}
+	reg.Attach(db.metricsSrc)
+}
+
+// LiveStats returns the atomic telemetry mirror sessions record into, or
+// nil when metrics are disabled. Engines outside this package pass it to
+// their collectors via stats.Collector.AttachLive.
+func (db *DB) LiveStats() *stats.Live { return db.live }
+
+// Metrics returns the attached telemetry registry (nil when disabled).
+func (db *DB) Metrics() *telemetry.Registry { return db.metrics }
+
+// MetricsAddr returns the bound address of the DB-owned metrics endpoint
+// ("" when Config.MetricsAddr was empty — including when metrics were
+// enabled on a shared registry, whose address the caller already knows).
+func (db *DB) MetricsAddr() string { return db.metricsAddr }
 
 // walDevices builds one log device per storage partition. The
 // single-partition layout keeps the original semantics exactly: the
@@ -288,6 +375,16 @@ func (db *DB) Close() error {
 	}
 	if db.pruner != nil {
 		db.pruner.stop()
+	}
+	if db.metrics != nil {
+		// Detach is conditional (only if this DB is still the attached
+		// source) so closing an old DB never silences a newer one that
+		// re-attached the shared registry.
+		db.metrics.Detach(db.metricsSrc)
+		if db.ownMetrics {
+			db.metrics.Close()
+		}
+		db.metrics, db.metricsSrc = nil, nil
 	}
 	return db.PLog.Close()
 }

@@ -33,6 +33,7 @@ func (e *LockEngine) Database() *DB { return e.db }
 // partitioned DB the session holds one appender and one record scratch
 // per partition log, created once here.
 func (e *LockEngine) NewSession(worker int, col *stats.Collector) Session {
+	col.AttachLive(e.db.live)
 	s := &lockSession{
 		db:     e.db,
 		worker: worker,
@@ -303,6 +304,8 @@ func (tx *lockTx) Update(row *storage.Row, mutate func(img []byte)) error {
 				}
 				a.mode = lock.EX
 				a.retired = true
+				tx.s.col.RecordUpgrade()
+				tx.s.col.RecordRetire()
 				return nil
 			}
 			start := time.Now()
@@ -313,6 +316,7 @@ func (tx *lockTx) Update(row *storage.Row, mutate func(img []byte)) error {
 				return err
 			}
 			a.mode = lock.EX
+			tx.s.col.RecordUpgrade()
 			// No opIndex increment: the row was already counted at its
 			// Read, and workloads declare an RMW row as one access — a
 			// second count would skew the δ-retire cutoff.
@@ -343,6 +347,7 @@ func (tx *lockTx) Update(row *storage.Row, mutate func(img []byte)) error {
 	if tx.shouldRetire() {
 		tx.db.Lock.Retire(req)
 		tx.accesses[i].retired = true
+		tx.s.col.RecordRetire()
 	}
 	return nil
 }
@@ -383,6 +388,7 @@ func (tx *lockTx) RetireRow(row *storage.Row) {
 		if a.mode == lock.EX && !a.retired {
 			tx.db.Lock.Retire(a.req)
 			a.retired = true
+			tx.s.col.RecordRetire()
 		}
 	}
 }
@@ -395,6 +401,7 @@ func (tx *lockTx) retireRemaining() {
 		if a.mode == lock.EX && !a.retired {
 			tx.db.Lock.Retire(a.req)
 			a.retired = true
+			tx.s.col.RecordRetire()
 		}
 	}
 }
@@ -543,7 +550,7 @@ func (s *lockSession) Run(fn TxnFunc) error {
 		if tx.snap != 0 {
 			tx.endSnapshot()
 			t.FinishCommit()
-			s.col.SnapshotReads += tx.snapReads
+			s.col.RecordSnapshotReads(tx.snapReads)
 			s.col.RecordCommit(execTime, 0, 0)
 			return nil
 		}
@@ -729,7 +736,7 @@ func (s *lockSession) installVersions(tx *lockTx) error {
 		}
 	}
 	st.EndCommit(s.worker)
-	s.col.VersionsPruned += uint64(reclaimed)
+	s.col.RecordVersionsPruned(uint64(reclaimed))
 	return nil
 }
 

@@ -1,0 +1,253 @@
+package core_test
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"bamboo/internal/core"
+	"bamboo/internal/stats"
+	"bamboo/internal/telemetry"
+	"bamboo/internal/workload/ycsb"
+)
+
+// TestMetricsScrapeDuringRun is the concurrency proof for the live
+// observability layer: scrapers hammer the registry — both the direct
+// WriteMetrics/Snapshot path and real HTTP GETs — while workers run a
+// contended workload. Under -race this asserts the whole collection path
+// is data-race-free; the final scrape asserts it is not vacuous and that
+// the endpoint's commit count agrees with the run's merged report.
+func TestMetricsScrapeDuringRun(t *testing.T) {
+	cfg := core.Bamboo()
+	cfg.Partitions = 4
+	cfg.MetricsAddr = "127.0.0.1:0"
+	cfg.MetricsInterval = time.Millisecond
+	db := core.NewDB(cfg)
+	defer db.Close()
+
+	addr := db.MetricsAddr()
+	if addr == "" {
+		t.Fatal("MetricsAddr empty with Config.MetricsAddr set")
+	}
+	w, err := ycsb.Load(db, ycsb.Config{
+		Rows: 5000, OpsPerTxn: 16, Theta: 0.9, ReadRatio: 0.5,
+		Columns: 4, ColumnBytes: 40, RMWFrac: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	// Direct scrapers: no HTTP stack between the race detector and the
+	// counter loads.
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					db.Metrics().WriteMetrics(io.Discard)
+					db.Metrics().Snapshot()
+				}
+			}
+		}()
+	}
+	// One HTTP scraper: the path operators actually use.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				resp, err := http.Get("http://" + addr + "/metrics")
+				if err == nil {
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+				}
+			}
+		}
+	}()
+
+	res := core.RunN(core.NewLockEngine(db), 4, 200, w.Generator())
+	close(stop)
+	wg.Wait()
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if res.Report.Upgrades == 0 {
+		t.Error("no upgrades reported on an RMW-heavy run")
+	}
+
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"bamboo_up 1",
+		`bamboo_info{protocol="BAMBOO"} 1`,
+		`bamboo_partition_conflicts_total{partition="0"}`,
+		`bamboo_txn_latency_seconds{quantile="0.99"}`,
+		"bamboo_txn_upgrades_total",
+	} {
+		if !bytes.Contains(body, []byte(want)) {
+			t.Errorf("final scrape missing %q", want)
+		}
+	}
+	// Every committed transaction went through the Live mirror, so the
+	// endpoint's counter must equal the merged report exactly.
+	var commits uint64
+	found := false
+	for _, line := range strings.Split(string(body), "\n") {
+		if v, ok := strings.CutPrefix(line, "bamboo_txn_commits_total "); ok {
+			commits, err = strconv.ParseUint(v, 10, 64)
+			if err != nil {
+				t.Fatalf("parse %q: %v", line, err)
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("final scrape missing bamboo_txn_commits_total")
+	}
+	if commits != res.Report.Commits {
+		t.Errorf("endpoint commits = %d, run report = %d", commits, res.Report.Commits)
+	}
+}
+
+// TestMetricsSharedRegistry covers the bench-harness lifecycle: a
+// process-level registry, EnableMetrics on a flat-layout DB (which must
+// still initialize per-partition series — the scrape contract does not
+// depend on Config.Partitions), then Close detaching it so the endpoint
+// reports bamboo_up 0 instead of stale counters.
+func TestMetricsSharedRegistry(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	db := core.NewDB(core.Bamboo())
+	db.EnableMetrics(reg)
+	if db.LiveStats() == nil {
+		t.Fatal("LiveStats nil after EnableMetrics")
+	}
+	if db.MetricsAddr() != "" {
+		t.Fatal("shared registry should not report a DB-owned address")
+	}
+
+	// Run a few transactions so counters are nonzero.
+	w, err := ycsb.Load(db, ycsb.Config{
+		Rows: 1000, OpsPerTxn: 8, Theta: 0.6, ReadRatio: 0.5,
+		Columns: 2, ColumnBytes: 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := core.NewLockEngine(db).NewSession(0, &stats.Collector{})
+	gen := w.Generator()
+	for i := 0; i < 50; i++ {
+		if err := sess.Run(gen(0, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var buf bytes.Buffer
+	reg.WriteMetrics(&buf)
+	out := buf.String()
+	if !strings.Contains(out, `bamboo_partition_accesses_total{partition="0"}`) {
+		t.Fatalf("flat-layout metrics missing partition series:\n%s", out)
+	}
+	if !strings.Contains(out, "bamboo_txn_commits_total 50") {
+		t.Fatalf("metrics missing commits:\n%s", out)
+	}
+
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	reg.WriteMetrics(&buf)
+	if !strings.Contains(buf.String(), "bamboo_up 0") {
+		t.Fatalf("closed DB still attached:\n%s", buf.String())
+	}
+}
+
+// TestAllocBudgetMetricsEnabled is the observability alloc gate: with the
+// endpoint serving, the rate collector ticking and the Live mirror
+// attached, the hot path must allocate exactly what it does with metrics
+// off — the mirror is plain atomic adds into preallocated memory.
+// testing.AllocsPerRun counts allocations from ALL goroutines, so this
+// also proves the background collector's sampling loop is alloc-free.
+func TestAllocBudgetMetricsEnabled(t *testing.T) {
+	plain := measureAllocsPerTxn(t, core.Bamboo())
+
+	reg := telemetry.NewRegistry()
+	addr, err := reg.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reg.Close()
+
+	db := core.NewDB(core.Bamboo())
+	defer db.Close()
+	db.EnableMetrics(reg)
+	w, err := ycsb.Load(db, ycsb.Config{
+		Rows: 20000, OpsPerTxn: 16, Theta: 0.6, ReadRatio: 0.5,
+		Columns: 10, ColumnBytes: 100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := core.NewLockEngine(db).NewSession(0, &stats.Collector{})
+	gen := w.Generator()
+	const txns = 200
+	fns := make([]core.TxnFunc, txns)
+	for i := range fns {
+		fns[i] = gen(0, i)
+	}
+	// Warm up to steady-state capacity, as the other alloc gates do.
+	for i := 0; i < txns; i++ {
+		if err := sess.Run(fns[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	i := 0
+	got := testing.AllocsPerRun(txns, func() {
+		if err := sess.Run(fns[i%txns]); err != nil {
+			t.Fatal(err)
+		}
+		i++
+	})
+	t.Logf("metrics off %.1f, metrics on %.1f allocs/txn (budget %.0f)", plain, got, allocBudget)
+	if got > allocBudget {
+		t.Fatalf("metrics-enabled allocs/txn = %.1f exceeds budget %.1f", got, allocBudget)
+	}
+	if got > plain+0.5 {
+		t.Fatalf("metrics enablement allocates: %.1f vs %.1f allocs/txn plain", got, plain)
+	}
+
+	// The gate must not pass vacuously: the endpoint saw those commits.
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(body, []byte("bamboo_txn_commits_total")) ||
+		bytes.Contains(body, []byte("bamboo_txn_commits_total 0\n")) {
+		t.Fatalf("endpoint did not observe the measured transactions:\n%s", body)
+	}
+}

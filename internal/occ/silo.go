@@ -71,6 +71,7 @@ func (e *Engine) Database() *core.DB { return e.db }
 
 // NewSession implements core.Engine.
 func (e *Engine) NewSession(worker int, col *stats.Collector) core.Session {
+	col.AttachLive(e.db.LiveStats())
 	return &session{e: e, worker: worker, col: col}
 }
 

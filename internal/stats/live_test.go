@@ -1,0 +1,138 @@
+package stats
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestAtomicHistMatchesHist: same observations, same quantiles — the
+// atomic mirror must agree with the plain histogram it shadows.
+func TestAtomicHistMatchesHist(t *testing.T) {
+	var h Hist
+	var a AtomicHist
+	// A spread covering identity buckets and log-linear octaves (overflow
+	// is exercised separately below — Hist reports exact-tracked max for
+	// overflow-dominated quantiles, AtomicHist the highest bucket, so the
+	// two disagree there by design).
+	ds := []time.Duration{
+		0, 1, 50, 63, 64, 100, 999,
+		time.Microsecond, 17 * time.Microsecond,
+		time.Millisecond, 42 * time.Millisecond,
+		time.Second,
+	}
+	for _, d := range ds {
+		for i := 0; i < 7; i++ {
+			h.Record(d)
+			a.Record(d)
+		}
+	}
+	if h.Count() != a.Count() {
+		t.Fatalf("count: hist %d, atomic %d", h.Count(), a.Count())
+	}
+	qs := []float64{0.5, 0.9, 0.95, 0.99, 0.999}
+	out := make([]time.Duration, len(qs))
+	a.QuantilesInto(qs, out)
+	for i, q := range qs {
+		want := h.Quantile(q)
+		// Hist clamps quantiles to the exactly-tracked [min, max];
+		// AtomicHist reports raw bucket midpoints (it cannot track
+		// extremes atomically without a CAS loop on the record path), so
+		// allow one sub-bucket of slack.
+		diff := out[i] - want
+		if diff < 0 {
+			diff = -diff
+		}
+		if want > 0 && float64(diff) > 0.05*float64(want) {
+			t.Errorf("q=%g: atomic %v, hist %v", q, out[i], want)
+		}
+	}
+
+	// Overflow observations (histMaxValue ≈ 68s) count but stay out of
+	// the bucket array.
+	a.Record(90 * time.Second)
+	if a.Count() != h.Count()+1 {
+		t.Fatalf("overflow not counted: %d", a.Count())
+	}
+}
+
+// TestAtomicHistConcurrentReads asserts a reader racing many writers
+// always sees sane values (run under -race this is also the data-race
+// proof for the scrape path).
+func TestAtomicHistConcurrentReads(t *testing.T) {
+	var a AtomicHist
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			d := time.Duration(seed+1) * 10 * time.Microsecond
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					a.Record(d)
+				}
+			}
+		}(w)
+	}
+	qs := []float64{0.5, 0.99}
+	out := make([]time.Duration, len(qs))
+	deadline := time.Now().Add(50 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		n := a.QuantilesInto(qs, out)
+		if n > 0 {
+			// Bounds widened by one sub-bucket: quantiles report bucket
+			// midpoints, not exact extremes.
+			for i, q := range out {
+				if q < 9*time.Microsecond || q > 41*time.Microsecond {
+					t.Fatalf("quantile %g out of recorded range: %v", qs[i], q)
+				}
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestCollectorLiveMirror: with a Live attached, every Record* lands in
+// both the plain fields and the atomic mirror; Merge/Summarize carry the
+// new upgrade/retire counters through to the report.
+func TestCollectorLiveMirror(t *testing.T) {
+	live := &Live{}
+	c := &Collector{}
+	c.AttachLive(live)
+	c.RecordCommit(time.Millisecond, 0, 0)
+	c.RecordAbort(1, time.Millisecond, 0, 0) // cause 1 = wound
+	c.RecordUpgrade()
+	c.RecordRetire()
+	c.RecordRetire()
+	c.RecordSnapshotReads(5)
+	c.RecordVersionsPruned(3)
+
+	if live.Commits.Load() != 1 || live.Aborts.Load() != 1 {
+		t.Fatalf("mirror commits/aborts = %d/%d", live.Commits.Load(), live.Aborts.Load())
+	}
+	if live.AbortsBy[1].Load() != 1 {
+		t.Fatalf("mirror aborts_by[wound] = %d", live.AbortsBy[1].Load())
+	}
+	if live.Upgrades.Load() != 1 || live.Retires.Load() != 2 {
+		t.Fatalf("mirror upgrades/retires = %d/%d", live.Upgrades.Load(), live.Retires.Load())
+	}
+	if live.SnapshotReads.Load() != 5 || live.VersionsPruned.Load() != 3 {
+		t.Fatalf("mirror snapshot reads/pruned = %d/%d",
+			live.SnapshotReads.Load(), live.VersionsPruned.Load())
+	}
+	if live.Lat.Count() != 1 {
+		t.Fatalf("mirror latency count = %d", live.Lat.Count())
+	}
+
+	var merged Collector
+	merged.Merge(c)
+	rep := Summarize("test", time.Second, []*Collector{&merged}, nil)
+	if rep.Upgrades != 1 || rep.Retires != 2 {
+		t.Fatalf("report upgrades/retires = %d/%d", rep.Upgrades, rep.Retires)
+	}
+}

@@ -4,7 +4,13 @@
 // work), and abort-chain lengths (§4.2).
 //
 // Collection is per-worker and contention-free; Merge folds workers
-// together at the end of a run.
+// together at the end of a run. Counters recorded where no worker
+// collector is in scope (the lock manager's wounds and cascades, the
+// per-partition access/conflict counters, the background pruner) live in
+// Global and are atomic. For live scraping during a run, AttachLive gives
+// a collector an atomic mirror (Live, read by internal/telemetry) so the
+// end-of-run path stays plain-field and a scraper never reads a
+// non-atomic counter.
 package stats
 
 import (
@@ -38,6 +44,18 @@ type Collector struct {
 	// worker reclaimed at install time. Both zero on non-MVCC runs.
 	SnapshotReads  uint64
 	VersionsPruned uint64
+
+	// Upgrades counts successful SH→EX promotions (including the fused
+	// upgrade+retire path); Retires counts lock retires (writes made
+	// visible before commit).
+	Upgrades uint64
+	Retires  uint64
+
+	// Live, when non-nil (AttachLive), receives an atomic mirror of
+	// every Record* call so a telemetry scraper can read the counters
+	// mid-run. Nil on plain bench runs: the hot path then pays only a
+	// predictable nil check per record.
+	Live *Live
 }
 
 // Global holds the counters that are recorded from inside the shared lock
@@ -103,6 +121,29 @@ func (g *Global) PartitionAccesses() []uint64 { return snapshotParts(g.parts, ac
 // or nil when partition telemetry is disabled.
 func (g *Global) PartitionConflicts() []uint64 { return snapshotParts(g.parts, conflictOf) }
 
+// NumPartitions returns how many partition counters are initialized
+// (zero when partition telemetry is disabled).
+func (g *Global) NumPartitions() int { return len(g.parts) }
+
+// PartitionAt returns partition pid's access and conflict counts with no
+// allocation; the telemetry exposition path iterates partitions with it.
+func (g *Global) PartitionAt(pid int) (accesses, conflicts uint64) {
+	if pid < 0 || pid >= len(g.parts) {
+		return 0, 0
+	}
+	return g.parts[pid].Accesses.Load(), g.parts[pid].Conflicts.Load()
+}
+
+// PartitionTotals sums accesses and conflicts over all partitions with no
+// allocation (the periodic telemetry collector's rate path).
+func (g *Global) PartitionTotals() (accesses, conflicts uint64) {
+	for i := range g.parts {
+		accesses += g.parts[i].Accesses.Load()
+		conflicts += g.parts[i].Conflicts.Load()
+	}
+	return
+}
+
 func accessOf(c *PartitionCounter) uint64   { return c.Accesses.Load() }
 func conflictOf(c *PartitionCounter) uint64 { return c.Conflicts.Load() }
 
@@ -157,6 +198,10 @@ func (c *Collector) RecordCommit(exec, lockWait, commitWait time.Duration) {
 	c.LockWait += lockWait
 	c.CommitWait += commitWait
 	c.Lat.Record(exec + lockWait + commitWait)
+	if c.Live != nil {
+		c.Live.Commits.Add(1)
+		c.Live.Lat.Record(exec + lockWait + commitWait)
+	}
 }
 
 // RecordAbort records an aborted attempt.
@@ -168,6 +213,12 @@ func (c *Collector) RecordAbort(cause txn.AbortCause, exec, lockWait, commitWait
 	c.AbortTime += exec
 	c.LockWait += lockWait
 	c.CommitWait += commitWait
+	if c.Live != nil {
+		c.Live.Aborts.Add(1)
+		if int(cause) < len(c.Live.AbortsBy) {
+			c.Live.AbortsBy[cause].Add(1)
+		}
+	}
 }
 
 // Merge folds other into c.
@@ -186,6 +237,8 @@ func (c *Collector) Merge(other *Collector) {
 	}
 	c.SnapshotReads += other.SnapshotReads
 	c.VersionsPruned += other.VersionsPruned
+	c.Upgrades += other.Upgrades
+	c.Retires += other.Retires
 	c.Lat.Merge(&other.Lat)
 }
 
@@ -215,6 +268,11 @@ type Report struct {
 	Cascades uint64
 	AvgChain float64
 	MaxChain uint64
+
+	// Lock-upgrade and early-release telemetry: successful SH→EX
+	// promotions and retires (writes made visible before commit).
+	Upgrades uint64
+	Retires  uint64
 
 	// MVCC snapshot-read telemetry (zero on non-MVCC runs): reads served
 	// lock-free at a snapshot, version nodes reclaimed (install-time
@@ -285,6 +343,8 @@ func Summarize(protocol string, elapsed time.Duration, workers []*Collector, g *
 	}
 	r.SnapshotReads = all.SnapshotReads
 	r.VersionsPruned = all.VersionsPruned
+	r.Upgrades = all.Upgrades
+	r.Retires = all.Retires
 	var cascades, chainSum uint64
 	if g != nil {
 		r.Wounds = g.Wounds.Load()
