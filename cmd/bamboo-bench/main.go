@@ -48,6 +48,8 @@ func main() {
 		rtt      = flag.Duration("rtt", 100*time.Microsecond, "interactive-mode round trip per operation")
 		parts    = flag.Int("partitions", 0, "storage partition count for every point's tables (0/1 = flat single-partition layout; survives -quick)")
 		roFrac   = flag.Float64("readonly-frac", 0, "pin the readmvcc experiment's read-only-fraction ladder to this value in (0,1] (0 = built-in 0.5/0.9/0.95/1.0 sweep; survives -quick)")
+		seed     = flag.Int64("seed", 0, "fixed workload RNG seed for every point's loader and generators, so A/B runs see identical key streams (0 = built-in seeding; survives -quick)")
+		repeat   = flag.Int("repeat", 0, "run every point this many times and report the median sample (0 = once, or the quick scale's built-in 5)")
 		quick    = flag.Bool("quick", false, "use the small CI smoke scale (overrides -threads/-duration/-txns/-rows/-rtt)")
 		jsonOut  = flag.Bool("json", false, "emit the schema-versioned JSON result document")
 		csvOut   = flag.Bool("csv", false, "emit results as one flat CSV table")
@@ -105,11 +107,16 @@ func main() {
 			}
 		}
 	}
-	// -partitions and -readonly-frac compose with -quick: the CI
-	// routing-path smoke run is "quick scale, 2 partitions" and the MVCC
-	// gate pins a single read-heavy point the same way.
+	// -partitions, -readonly-frac and -seed compose with -quick: the CI
+	// routing-path smoke run is "quick scale, 2 partitions", the MVCC
+	// gate pins a single read-heavy point the same way, and a pinned seed
+	// makes quick-scale A/B comparisons key-stream-identical.
 	s.Partitions = *parts
 	s.ReadOnlyFrac = *roFrac
+	s.Seed = *seed
+	if *repeat > 0 {
+		s.Repeat = *repeat
+	}
 
 	// One process-level registry outlives every benchmark point: each
 	// point's DB attaches on creation and detaches on close, so a scraper

@@ -1,0 +1,236 @@
+package adaptive
+
+import (
+	"testing"
+
+	"bamboo/internal/lock"
+	"bamboo/internal/stats"
+)
+
+// harness is a synthetic workload over in-memory entries: each round
+// records a fixed access/conflict mix per entry, then runs one engine
+// tick. Driving Tick directly makes every test deterministic — no
+// ticker, no clock.
+type harness struct {
+	entries []*lock.Entry
+	parts   []int // partition id per entry
+	g       *stats.Global
+	en      *Engine
+}
+
+func newHarness(cfg Config, n, partitions int) *harness {
+	h := &harness{g: &stats.Global{}}
+	if partitions > 0 {
+		h.g.InitPartitions(partitions)
+	}
+	for i := 0; i < n; i++ {
+		e := &lock.Entry{}
+		e.Init(nil)
+		h.entries = append(h.entries, e)
+		if partitions > 0 {
+			h.parts = append(h.parts, i%partitions)
+		} else {
+			h.parts = append(h.parts, 0)
+		}
+	}
+	h.en = New(cfg, Source{Global: h.g})
+	return h
+}
+
+// load records accesses and conflicts against entry i (and its
+// partition counters, as the executor would — including the first-access
+// registration with the engine's sweep list).
+func (h *harness) load(i, accesses, conflicts int) {
+	for k := 0; k < accesses; k++ {
+		if h.entries[i].MarkSeen() {
+			h.en.Register(h.entries[i], h.parts[i])
+		}
+		h.entries[i].RecordAccess()
+		h.g.RecordPartAccess(h.parts[i])
+	}
+	for k := 0; k < conflicts; k++ {
+		h.entries[i].RecordConflict()
+		h.g.RecordPartConflict(h.parts[i])
+	}
+}
+
+// cfg with MinAccesses low enough that the per-entry loads above are
+// full sample windows.
+func testCfg() Config {
+	return Config{Enter: 0.05, Exit: 0.01, Alpha: 0.5, MinAccesses: 16}
+}
+
+// TestConstantWorkloadConverges is the hysteresis property test: under a
+// constant workload the classifier converges and then never flips again.
+func TestConstantWorkloadConverges(t *testing.T) {
+	h := newHarness(testCfg(), 2, 0)
+	const rounds = 50
+	var flipsAt [rounds]uint64
+	for r := 0; r < rounds; r++ {
+		h.load(0, 100, 30) // hot: 30% conflict rate
+		h.load(1, 100, 0)  // cold: conflict-free
+		h.en.Tick()
+		flipsAt[r] = h.en.Flips()
+	}
+	if p := h.entries[0].Policy(); p != lock.PolicyRetire {
+		t.Fatalf("hot entry policy = %d, want PolicyRetire", p)
+	}
+	if p := h.entries[1].Policy(); p != lock.PolicyNoRetire {
+		t.Fatalf("cold entry policy = %d, want PolicyNoRetire", p)
+	}
+	// Convergence: after the first quarter of the run, zero further flips.
+	if flipsAt[rounds-1] != flipsAt[rounds/4] {
+		t.Fatalf("classifier still flipping after convergence: %d flips at round %d, %d at round %d",
+			flipsAt[rounds/4], rounds/4, flipsAt[rounds-1], rounds-1)
+	}
+	if h.en.HotEntries() != 1 {
+		t.Fatalf("hot gauge = %d, want 1", h.en.HotEntries())
+	}
+	if h.g.HotEntries.Load() != 1 || h.g.PolicyFlips.Load() != flipsAt[rounds-1] {
+		t.Fatalf("global mirror hot=%d flips=%d, want 1/%d",
+			h.g.HotEntries.Load(), h.g.PolicyFlips.Load(), flipsAt[rounds-1])
+	}
+}
+
+// TestDeadZoneNoOscillation: a conflict rate that lands between Exit and
+// Enter after convergence must not flip the policy back and forth.
+func TestDeadZoneNoOscillation(t *testing.T) {
+	h := newHarness(testCfg(), 1, 0)
+	// Converge hot first.
+	for r := 0; r < 10; r++ {
+		h.load(0, 100, 50)
+		h.en.Tick()
+	}
+	if h.entries[0].Policy() != lock.PolicyRetire {
+		t.Fatal("entry did not converge hot")
+	}
+	// Drop into the dead zone: 3% conflicts, between Exit 1% and Enter 5%.
+	// The EWMA settles at 0.03 — inside the band — so the policy must
+	// keep its last classification forever.
+	flipsBefore := h.en.Flips()
+	for r := 0; r < 50; r++ {
+		h.load(0, 100, 3)
+		h.en.Tick()
+	}
+	if h.entries[0].Policy() != lock.PolicyRetire {
+		t.Fatal("dead-zone rate demoted the entry; hysteresis broken")
+	}
+	if got := h.en.Flips(); got != flipsBefore {
+		t.Fatalf("dead-zone rate caused %d flips", got-flipsBefore)
+	}
+}
+
+// TestPhaseChangeReconverges: when the hotspot migrates mid-run the
+// classifier re-converges — both entries swap policies — within a
+// bounded number of ticks.
+func TestPhaseChangeReconverges(t *testing.T) {
+	h := newHarness(testCfg(), 2, 0)
+	for r := 0; r < 20; r++ {
+		h.load(0, 100, 40)
+		h.load(1, 100, 0)
+		h.en.Tick()
+	}
+	if h.entries[0].Policy() != lock.PolicyRetire || h.entries[1].Policy() != lock.PolicyNoRetire {
+		t.Fatal("initial phase did not converge")
+	}
+
+	// Hotspot migrates from entry 0 to entry 1.
+	const maxTicks = 12
+	converged := -1
+	for r := 0; r < maxTicks; r++ {
+		h.load(0, 100, 0)
+		h.load(1, 100, 40)
+		h.en.Tick()
+		if h.entries[0].Policy() == lock.PolicyNoRetire && h.entries[1].Policy() == lock.PolicyRetire {
+			converged = r
+			break
+		}
+	}
+	if converged < 0 {
+		t.Fatalf("classifier did not re-converge within %d ticks after phase change (policies %d/%d)",
+			maxTicks, h.entries[0].Policy(), h.entries[1].Policy())
+	}
+	if h.en.HotEntries() != 1 {
+		t.Fatalf("hot gauge = %d after migration, want 1", h.en.HotEntries())
+	}
+}
+
+// TestPartitionFallback: entries too cold to fill their own sample
+// window inherit the classification of their storage partition.
+func TestPartitionFallback(t *testing.T) {
+	// Two partitions, two entries each. Partition 0 runs hot in
+	// aggregate, partition 1 cold; every entry individually stays under
+	// MinAccesses per window.
+	h := newHarness(testCfg(), 4, 2) // entries 0,2 → part 0; 1,3 → part 1
+	for r := 0; r < 10; r++ {
+		h.load(0, 10, 4)
+		h.load(2, 10, 4)
+		h.load(1, 10, 0)
+		h.load(3, 10, 0)
+		h.en.Tick()
+	}
+	for _, i := range []int{0, 2} {
+		if p := h.entries[i].Policy(); p != lock.PolicyRetire {
+			t.Fatalf("entry %d on hot partition: policy = %d, want PolicyRetire", i, p)
+		}
+	}
+	for _, i := range []int{1, 3} {
+		if p := h.entries[i].Policy(); p != lock.PolicyNoRetire {
+			t.Fatalf("entry %d on cold partition: policy = %d, want PolicyNoRetire", i, p)
+		}
+	}
+}
+
+// TestIdleEntriesUntouched: entries with no traffic keep PolicyDefault —
+// the sweep must not write to cachelines nobody is using.
+func TestIdleEntriesUntouched(t *testing.T) {
+	h := newHarness(testCfg(), 3, 0)
+	for r := 0; r < 10; r++ {
+		h.load(0, 100, 50)
+		h.en.Tick()
+	}
+	for _, i := range []int{1, 2} {
+		if p := h.entries[i].Policy(); p != lock.PolicyDefault {
+			t.Fatalf("idle entry %d reclassified to %d", i, p)
+		}
+	}
+}
+
+// TestTickConflictSignal: Tick reports whether the pass saw any
+// conflict — the idle-backoff signal. Conflict-free traffic (and no
+// traffic at all) must read false; a single conflict, in an entry
+// window or a partition delta, must read true.
+func TestTickConflictSignal(t *testing.T) {
+	h := newHarness(testCfg(), 2, 2)
+	if h.en.Tick() {
+		t.Fatal("empty pass reported a conflict")
+	}
+	h.load(0, 100, 0)
+	if h.en.Tick() {
+		t.Fatal("conflict-free pass reported a conflict")
+	}
+	h.load(0, 100, 1)
+	if !h.en.Tick() {
+		t.Fatal("pass with an entry conflict reported idle")
+	}
+	// Partition-only conflict: recorded against the partition counter
+	// without any entry window traffic (as a conflict on a never-
+	// registered entry would be).
+	h.g.RecordPartAccess(1)
+	h.g.RecordPartConflict(1)
+	if !h.en.Tick() {
+		t.Fatal("pass with a partition conflict reported idle")
+	}
+	if h.en.Tick() {
+		t.Fatal("quiescent pass after conflicts still reported a conflict")
+	}
+}
+
+// TestStartStop exercises the background ticker lifecycle.
+func TestStartStop(t *testing.T) {
+	h := newHarness(Config{}, 1, 0)
+	h.en.Start()
+	h.en.Start() // idempotent
+	h.en.Stop()
+	h.en.Stop() // idempotent
+}

@@ -1,0 +1,53 @@
+package adaptive
+
+import (
+	"testing"
+
+	"bamboo/internal/lock"
+	"bamboo/internal/stats"
+)
+
+// BenchmarkTickSweep20k prices one engine tick over a 20k-entry
+// registered working set, all idle — the steady-state floor of the
+// background loop (one atomic load per entry). The interval default is
+// chosen against this number: tick cost / interval is the fraction of a
+// core the engine steals from the workload.
+func BenchmarkTickSweep20k(b *testing.B) {
+	entries := make([]lock.Entry, 20000)
+	g := &stats.Global{}
+	g.InitPartitions(1)
+	en := New(Config{}, Source{Global: g})
+	for i := range entries {
+		entries[i].MarkSeen()
+		en.Register(&entries[i], 0)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		en.Tick()
+	}
+}
+
+// BenchmarkTickSweep20kActive is the same sweep with every entry's
+// window full — each entry takes the swap + EWMA + classify slow path.
+func BenchmarkTickSweep20kActive(b *testing.B) {
+	entries := make([]lock.Entry, 20000)
+	g := &stats.Global{}
+	g.InitPartitions(1)
+	en := New(Config{}, Source{Global: g})
+	for i := range entries {
+		entries[i].MarkSeen()
+		en.Register(&entries[i], 0)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		for j := range entries {
+			for k := 0; k < 20; k++ {
+				entries[j].RecordAccess()
+			}
+			entries[j].RecordConflict()
+		}
+		b.StartTimer()
+		en.Tick()
+	}
+}

@@ -65,6 +65,11 @@ type Scale struct {
 	// -partitions pins the partition ladder); 0 keeps the built-in
 	// 0.5/0.9/0.95/1.0 sweep.
 	ReadOnlyFrac float64
+	// Seed, when nonzero, fixes the workload RNG seed every point's
+	// loader and generators derive their per-worker streams from, so A/B
+	// comparisons (adaptive vs static, before vs after) see identical
+	// Zipfian key sequences. 0 keeps the workloads' built-in seeding.
+	Seed int64
 	// Metrics, when non-nil, is a live telemetry registry every point's
 	// DB attaches to for the duration of its run (the bamboo-bench
 	// -metrics-addr flag serves one process-wide registry): a scraper
@@ -137,6 +142,7 @@ func All() []Experiment {
 		{"partition", "Partition: YCSB throughput and load time vs partition count (theta=0.9)", PartitionSweep},
 		{"durability", "Durability: fsync policy × partitions on file-backed partition WALs (theta=0.6)", DurabilitySweep},
 		{"readmvcc", "MVCC: lock-free snapshot reads vs shared-lock baseline, read-only fraction × theta (YCSB)", ReadMVCCSweep},
+		{"adaptive", "Adaptive: runtime contention control vs static BAMBOO and WOUND_WAIT across Zipfian theta (YCSB)", AdaptiveSweep},
 	}
 }
 
@@ -161,6 +167,7 @@ func (s Scale) ReportScale() report.Scale {
 		RTTNS:         int64(s.RTT),
 		Partitions:    s.Partitions,
 		ReadOnlyFrac:  s.ReadOnlyFrac,
+		Seed:          s.Seed,
 	}
 }
 
@@ -230,6 +237,83 @@ func runPoint(s Scale, b engineBuilder, interactive bool,
 	for i := 0; i < n; i++ {
 		reports = append(reports, runPointOnce(s, b, interactive, load, threads))
 	}
+	return medianReport(reports)
+}
+
+// runPointSteady runs one x-axis point for several builders on live,
+// reused DBs: each builder gets one engine and one load up front, then
+// the repeats run round-robin across the builders (A,B,C, A,B,C, …)
+// against those same DBs. This differs from runPoint in two deliberate
+// ways. First, interleaving: on shared hosts noise arrives in bursts
+// longer than a single sample, and consecutive repeats let one burst
+// poison an entire builder's median while its competitors run clean —
+// rotating through the builders every round spreads a burst across all
+// series, which is what a within-point A/B comparison needs. Second,
+// reuse: a feedback engine pays a classification warm-up on every fresh
+// DB, so fresh-per-repeat sampling would re-measure convergence five
+// times instead of the converged steady state; the statics run on
+// reused DBs too, keeping the comparison symmetric. Returns one median
+// report per builder, in builder order.
+func runPointSteady(s Scale, builders []engineBuilder,
+	load func(db *core.DB) (core.Generator, error), threads int) []stats.Report {
+
+	n := s.Repeat
+	if n < 1 {
+		n = 1
+	}
+	type liveDB struct {
+		eng      core.Engine
+		gen      core.Generator
+		closer   func()
+		loadTime time.Duration
+	}
+	live := make([]liveDB, len(builders))
+	parts := s.Partitions
+	if parts < 1 {
+		parts = 1
+	}
+	for i, b := range builders {
+		e, db, closer := b.make(parts)
+		db.EnableMetrics(s.Metrics)
+		loadStart := time.Now()
+		gen, err := load(db)
+		if err != nil {
+			panic(fmt.Sprintf("bench: load: %v", err))
+		}
+		live[i] = liveDB{eng: e, gen: gen, closer: closer, loadTime: time.Since(loadStart)}
+	}
+	samples := make([][]stats.Report, len(builders))
+	for r := 0; r < n; r++ {
+		for i := range builders {
+			runtime.GC()
+			var res core.RunResult
+			if s.Duration > 0 {
+				res = core.RunFor(live[i].eng, threads, s.Duration, live[i].gen)
+			} else {
+				res = core.RunN(live[i].eng, threads, s.TxnsPerWorker, live[i].gen)
+			}
+			if res.Err != nil {
+				panic(fmt.Sprintf("bench: run: %v", res.Err))
+			}
+			res.Report.Protocol = builders[i].name
+			res.Report.LoadTime = live[i].loadTime
+			samples[i] = append(samples[i], res.Report)
+		}
+	}
+	for i := range live {
+		live[i].closer()
+	}
+	out := make([]stats.Report, len(builders))
+	for i := range builders {
+		out[i] = medianReport(samples[i])
+	}
+	return out
+}
+
+// medianReport reduces repeated samples of one point to the
+// throughput-median sample, with per-metric medians for the gated
+// latency figures.
+func medianReport(reports []stats.Report) stats.Report {
 	sort.Slice(reports, func(i, j int) bool {
 		return reports[i].ThroughputTPS < reports[j].ThroughputTPS
 	})
@@ -254,6 +338,25 @@ func runPoint(s Scale, b engineBuilder, interactive bool,
 	rep.LatencyP99 = medianDur(func(r *stats.Report) time.Duration { return r.LatencyP99 })
 	rep.LatencyP999 = medianDur(func(r *stats.Report) time.Duration { return r.LatencyP999 })
 	rep.LatencyMax = medianDur(func(r *stats.Report) time.Duration { return r.LatencyMax })
+	// The adaptive telemetry is cumulative per DB (policy flips, batched
+	// grants) or a point-in-time gauge (hot entries), and on a reused DB
+	// the throughput-median sample can be the warm-up repeat from before
+	// the engine's first classification pass — which would report zero
+	// flips on a point that demonstrably classified. The point reports
+	// the maximum observed across the samples instead: the final
+	// cumulative count for the counters, the peak for the gauge.
+	maxU64 := func(get func(*stats.Report) uint64) uint64 {
+		var m uint64
+		for i := range reports {
+			if v := get(&reports[i]); v > m {
+				m = v
+			}
+		}
+		return m
+	}
+	rep.PolicyFlips = maxU64(func(r *stats.Report) uint64 { return r.PolicyFlips })
+	rep.HotEntries = maxU64(func(r *stats.Report) uint64 { return r.HotEntries })
+	rep.BatchedGrants = maxU64(func(r *stats.Report) uint64 { return r.BatchedGrants })
 	return rep
 }
 
@@ -316,7 +419,14 @@ func runPointOnce(s Scale, b engineBuilder, interactive bool,
 	return res.Report
 }
 
-func synthLoader(cfg synth.Config) func(db *core.DB) (core.Generator, error) {
+// The loader factories take the point's Scale so an explicit -seed
+// reaches every workload's RNGs; a seed already set on the config (an
+// experiment pinning its own streams) wins over the Scale's.
+
+func synthLoader(s Scale, cfg synth.Config) func(db *core.DB) (core.Generator, error) {
+	if cfg.Seed == 0 {
+		cfg.Seed = s.Seed
+	}
 	return func(db *core.DB) (core.Generator, error) {
 		w, err := synth.Load(db, cfg)
 		if err != nil {
@@ -326,7 +436,10 @@ func synthLoader(cfg synth.Config) func(db *core.DB) (core.Generator, error) {
 	}
 }
 
-func ycsbLoader(cfg ycsb.Config) func(db *core.DB) (core.Generator, error) {
+func ycsbLoader(s Scale, cfg ycsb.Config) func(db *core.DB) (core.Generator, error) {
+	if cfg.Seed == 0 {
+		cfg.Seed = s.Seed
+	}
 	return func(db *core.DB) (core.Generator, error) {
 		w, err := ycsb.Load(db, cfg)
 		if err != nil {
@@ -336,7 +449,10 @@ func ycsbLoader(cfg ycsb.Config) func(db *core.DB) (core.Generator, error) {
 	}
 }
 
-func tpccLoader(cfg tpcc.Config) func(db *core.DB) (core.Generator, error) {
+func tpccLoader(s Scale, cfg tpcc.Config) func(db *core.DB) (core.Generator, error) {
+	if cfg.Seed == 0 {
+		cfg.Seed = s.Seed
+	}
 	return func(db *core.DB) (core.Generator, error) {
 		w, err := tpcc.Load(db, cfg)
 		if err != nil {
@@ -362,7 +478,7 @@ func Fig1Schedules(s Scale) []Row {
 		sc := s
 		sc.Duration = 0
 		sc.TxnsPerWorker = s.TxnsPerWorker
-		rep := runPoint(sc, b, false, synthLoader(cfg), 3)
+		rep := runPoint(sc, b, false, synthLoader(s, cfg), 3)
 		rows = append(rows, Row{X: "3 concurrent writers of hotspot A", Protocol: b.name, Report: rep})
 	}
 	return rows
@@ -376,7 +492,7 @@ func Sec52SingleHotspot(s Scale) []Row {
 	t := threads[len(threads)-1]
 	var rows []Row
 	for _, b := range standardBuilders() {
-		rep := runPoint(s, b, false, synthLoader(cfg), t)
+		rep := runPoint(s, b, false, synthLoader(s, cfg), t)
 		rows = append(rows, Row{X: fmt.Sprintf("%d threads", t), Protocol: b.name, Report: rep})
 	}
 	return rows
@@ -391,7 +507,7 @@ func Fig3aSpeedup(s Scale) []Row {
 		for _, t := range s.threads() {
 			x := fmt.Sprintf("len=%d threads=%d", txnLen, t)
 			for _, b := range []engineBuilder{lockBuilder(core.Bamboo()), lockBuilder(core.WoundWait())} {
-				rep := runPoint(s, b, false, synthLoader(cfg), t)
+				rep := runPoint(s, b, false, synthLoader(s, cfg), t)
 				rows = append(rows, Row{X: x, Protocol: b.name, Report: rep})
 			}
 		}
@@ -408,7 +524,7 @@ func Fig3bHotspotPosition(s Scale) []Row {
 		cfg := synth.Config{Rows: s.Rows, TxnLen: 16, HotspotPos: []float64{pos}}
 		x := fmt.Sprintf("position=%.2f", pos)
 		for _, b := range []engineBuilder{lockBuilder(core.Bamboo()), lockBuilder(core.WoundWait())} {
-			rep := runPoint(s, b, false, synthLoader(cfg), threads)
+			rep := runPoint(s, b, false, synthLoader(s, cfg), threads)
 			rows = append(rows, Row{X: x, Protocol: b.name, Report: rep})
 		}
 	}
@@ -439,7 +555,7 @@ func twoHotspots(s Scale, pos func(float64) []float64, label string) []Row {
 			lockBuilder(core.Bamboo()),
 			lockBuilder(core.WoundWait()),
 		} {
-			rep := runPoint(s, b, false, synthLoader(cfg), threads)
+			rep := runPoint(s, b, false, synthLoader(s, cfg), threads)
 			rows = append(rows, Row{X: x, Protocol: b.name, Report: rep})
 		}
 	}
@@ -455,7 +571,7 @@ func Fig6YCSBThreads(s Scale) []Row {
 	for _, t := range s.threads() {
 		x := fmt.Sprintf("threads=%d", t)
 		for _, b := range standardBuilders() {
-			rep := runPoint(s, b, false, ycsbLoader(cfg), t)
+			rep := runPoint(s, b, false, ycsbLoader(s, cfg), t)
 			rows = append(rows, Row{X: x, Protocol: b.name, Report: rep})
 		}
 	}
@@ -473,7 +589,7 @@ func Fig7LongReadOnly(s Scale) []Row {
 	for _, t := range s.threads() {
 		x := fmt.Sprintf("threads=%d", t)
 		for _, b := range standardBuilders() {
-			rep := runPoint(s, b, false, ycsbLoader(cfg), t)
+			rep := runPoint(s, b, false, ycsbLoader(s, cfg), t)
 			rows = append(rows, Row{X: x, Protocol: b.name, Report: rep})
 		}
 	}
@@ -496,7 +612,7 @@ func Fig8YCSBZipf(s Scale) []Row {
 			}
 			x := fmt.Sprintf("%s theta=%.2f", label, theta)
 			for _, b := range standardBuilders() {
-				rep := runPoint(s, b, mode, ycsbLoader(cfg), threads)
+				rep := runPoint(s, b, mode, ycsbLoader(s, cfg), threads)
 				rows = append(rows, Row{X: x, Protocol: b.name, Report: rep})
 			}
 		}
@@ -516,7 +632,7 @@ func Fig9TPCCThreads(s Scale) []Row {
 		for _, t := range s.threads() {
 			x := fmt.Sprintf("%s threads=%d", label, t)
 			for _, b := range standardBuilders() {
-				rep := runPoint(s, b, mode, tpccLoader(cfg), t)
+				rep := runPoint(s, b, mode, tpccLoader(s, cfg), t)
 				rows = append(rows, Row{X: x, Protocol: b.name, Report: rep})
 			}
 		}
@@ -538,7 +654,7 @@ func Fig10TPCCWarehouses(s Scale) []Row {
 			cfg.Warehouses = wh
 			x := fmt.Sprintf("%s warehouses=%d", label, wh)
 			for _, b := range standardBuilders() {
-				rep := runPoint(s, b, mode, tpccLoader(cfg), threads)
+				rep := runPoint(s, b, mode, tpccLoader(s, cfg), threads)
 				rows = append(rows, Row{X: x, Protocol: b.name, Report: rep})
 			}
 		}
@@ -564,7 +680,7 @@ func Fig11IC3(s Scale) []Row {
 				lockBuilder(core.WoundWait()),
 				siloBuilder(),
 			} {
-				rep := runPoint(s, b, false, tpccLoader(cfg), t)
+				rep := runPoint(s, b, false, tpccLoader(s, cfg), t)
 				rows = append(rows, Row{X: x, Protocol: b.name, Report: rep})
 			}
 			rows = append(rows, Row{X: x, Protocol: "IC3", Report: runIC3Point(s, cfg, t)})
@@ -578,6 +694,9 @@ func runIC3Point(s Scale, cfg tpcc.Config, threads int) stats.Report {
 	// document's scale block stays truthful for the IC3 series too.
 	db := core.NewDB(core.Config{Partitions: s.Partitions})
 	db.EnableMetrics(s.Metrics)
+	if cfg.Seed == 0 {
+		cfg.Seed = s.Seed
+	}
 	loadStart := time.Now()
 	w, err := tpcc.Load(db, cfg)
 	if err != nil {
@@ -608,7 +727,7 @@ func DeltaSweep(s Scale) []Row {
 		c.Delta = delta
 		b := lockBuilder(c)
 		b.name = fmt.Sprintf("BAMBOO d=%.2f", delta)
-		rep := runPoint(s, b, false, synthLoader(cfg), threads)
+		rep := runPoint(s, b, false, synthLoader(s, cfg), threads)
 		rows = append(rows, Row{X: "delta sweep", Protocol: b.name, Report: rep})
 	}
 	return rows
@@ -639,7 +758,7 @@ func Ablation(s Scale) []Row {
 	}
 	var rows []Row
 	for _, b := range builders {
-		rep := runPoint(s, b, false, ycsbLoader(cfg), threads)
+		rep := runPoint(s, b, false, ycsbLoader(s, cfg), threads)
 		rows = append(rows, Row{X: fmt.Sprintf("ycsb theta=0.9 threads=%d", threads), Protocol: b.name, Report: rep})
 	}
 	return rows
@@ -683,7 +802,7 @@ func ScalingSweep(s Scale) []Row {
 	for _, t := range scalingThreads(s) {
 		x := fmt.Sprintf("threads=%d", t)
 		for _, b := range builders {
-			rep := runPoint(s, b, true, synthLoader(cfg), t)
+			rep := runPoint(s, b, true, synthLoader(s, cfg), t)
 			rows = append(rows, Row{X: x, Protocol: b.name, Report: rep})
 		}
 	}
@@ -721,7 +840,7 @@ func UpgradeSweep(s Scale) []Row {
 		cfg.RMWFrac = rmw
 		x := fmt.Sprintf("rmw=%.2f threads=%d", rmw, threads)
 		for _, b := range builders {
-			rep := runPoint(s, b, false, ycsbLoader(cfg), threads)
+			rep := runPoint(s, b, false, ycsbLoader(s, cfg), threads)
 			rows = append(rows, Row{X: x, Protocol: b.name, Report: rep})
 		}
 	}
@@ -761,7 +880,7 @@ func PartitionSweep(s Scale) []Row {
 		sc.Partitions = parts
 		x := fmt.Sprintf("partitions=%d threads=%d", parts, threads)
 		for _, b := range builders {
-			rep := runPoint(sc, b, false, ycsbLoader(cfg), threads)
+			rep := runPoint(sc, b, false, ycsbLoader(s, cfg), threads)
 			rows = append(rows, Row{X: x, Protocol: b.name, Report: rep})
 		}
 	}
@@ -859,7 +978,7 @@ func DurabilitySweep(s Scale) []Row {
 		sc.Partitions = parts
 		x := fmt.Sprintf("partitions=%d threads=%d", parts, threads)
 		for _, b := range builders {
-			rep := runPoint(sc, b, false, ycsbLoader(cfg), threads)
+			rep := runPoint(sc, b, false, ycsbLoader(s, cfg), threads)
 			rows = append(rows, Row{X: x, Protocol: b.name, Report: rep})
 		}
 	}
@@ -907,9 +1026,51 @@ func ReadMVCCSweep(s Scale) []Row {
 			cfg.ReadOnlyFrac = frac
 			x := fmt.Sprintf("ro=%.2f theta=%.2f threads=%d", frac, theta, threads)
 			for _, b := range builders {
-				rep := runPoint(s, b, false, ycsbLoader(cfg), threads)
+				rep := runPoint(s, b, false, ycsbLoader(s, cfg), threads)
 				rows = append(rows, Row{X: x, Protocol: b.name, Report: rep})
 			}
+		}
+	}
+	return rows
+}
+
+// AdaptiveSweep measures what runtime contention control buys across the
+// skew spectrum: YCSB at theta 0.0 (uniform — retiring is pure overhead,
+// Wound-Wait territory) through 0.99 (a handful of keys absorb most
+// accesses — Bamboo's early release pays), comparing the adaptive engine
+// against both static extremes. The adaptive series starts every entry on
+// the static default and lets the feedback engine reclassify from live
+// conflict rates, so the claim under test is "adaptive ≈ best static
+// variant at every theta" — no manual protocol choice required. Each
+// point's hot_entries / policy_flips / batched_grants land in the JSON
+// document; the theta-0.9 point must show policy_flips > 0 (CI greps for
+// it — a silent detector means the experiment measured nothing).
+//
+// The sweep runs at the default 10ms tick: each tick costs ~6ns/row
+// (two atomic loads on idle entries — see BenchmarkTickSweep20k), so a
+// faster tick buys convergence latency at a per-core cost that matters
+// on the 1-CPU CI container; at 10ms even the first tick of a quick-
+// scale point sees thousands of accesses, which is all the classifier
+// needs.
+func AdaptiveSweep(s Scale) []Row {
+	threads := maxThreads(s)
+	adaptiveCfg := core.Bamboo()
+	adaptiveCfg.Adaptive = true
+	adaptiveBuilder := lockBuilder(adaptiveCfg)
+	adaptiveBuilder.name = "BAMBOO-adaptive"
+	builders := []engineBuilder{
+		adaptiveBuilder,
+		lockBuilder(core.Bamboo()),
+		lockBuilder(core.WoundWait()),
+	}
+	var rows []Row
+	for _, theta := range []float64{0.0, 0.6, 0.8, 0.9, 0.99} {
+		cfg := ycsb.DefaultConfig()
+		cfg.Rows = s.Rows
+		cfg.Theta = theta
+		x := fmt.Sprintf("theta=%.2f threads=%d", theta, threads)
+		for i, rep := range runPointSteady(s, builders, ycsbLoader(s, cfg), threads) {
+			rows = append(rows, Row{X: x, Protocol: builders[i].name, Report: rep})
 		}
 	}
 	return rows

@@ -58,6 +58,10 @@ type Scale struct {
 	// readmvcc experiment (0/absent = the experiment's built-in ladder).
 	// Additive + omitempty like Partitions.
 	ReadOnlyFrac float64 `json:"readonly_frac,omitempty"`
+	// Seed is the fixed workload RNG seed (-seed; 0/absent = the
+	// workloads' built-in per-worker seeding). Recorded so A/B documents
+	// state whether their key streams were identical. Additive + omitempty.
+	Seed int64 `json:"seed,omitempty"`
 }
 
 // Experiment is one runner's full series.
@@ -133,6 +137,14 @@ type Point struct {
 	SnapshotReads   uint64 `json:"snapshot_reads,omitempty"`
 	VersionsPruned  uint64 `json:"versions_pruned,omitempty"`
 	VersionChainMax uint64 `json:"version_chain_max,omitempty"`
+
+	// Adaptive contention-control telemetry (additive + omitempty, absent
+	// on non-adaptive runs): entries classified hot at the end of the
+	// run, per-entry policy changes the feedback engine made, and readers
+	// granted by hot-entry batched grant passes.
+	HotEntries    uint64 `json:"hot_entries,omitempty"`
+	PolicyFlips   uint64 `json:"policy_flips,omitempty"`
+	BatchedGrants uint64 `json:"batched_grants,omitempty"`
 
 	ElapsedNS int64 `json:"elapsed_ns"`
 }
@@ -236,6 +248,9 @@ func PointFrom(x string, r stats.Report) Point {
 		SnapshotReads:      r.SnapshotReads,
 		VersionsPruned:     r.VersionsPruned,
 		VersionChainMax:    r.VersionChainMax,
+		HotEntries:         r.HotEntries,
+		PolicyFlips:        r.PolicyFlips,
+		BatchedGrants:      r.BatchedGrants,
 		ElapsedNS:          int64(r.Elapsed),
 	}
 }

@@ -16,6 +16,14 @@
 // (validate instead of wait) is not implemented; pieces always wait for
 // conflicting predecessors to finish. The column-level analysis — the
 // mechanism responsible for Figure 11's shape — is implemented in full.
+//
+// Extension beyond the original: access modes are optional. A piece
+// whose declarations carry no Write flag is analyzed conservatively
+// (every declared access a potential write) and discovers its modes at
+// runtime — an Update after a Read of the same row promotes the access
+// SH→EX in place, the same upgrade semantics the lock engines expose —
+// so a workload's un-annotated read-then-update bodies run under IC3
+// without per-piece write-set declarations.
 package chop
 
 import (
@@ -40,7 +48,14 @@ type AccessDecl struct {
 	Table string
 	// Cols are the column indexes touched (≤64 columns per table).
 	Cols []int
-	// Write marks the access as an update.
+	// Write marks the access as an update. The mode is optional: a piece
+	// none of whose accesses declares Write is un-annotated — the
+	// analysis treats every one of its accesses as a potential write
+	// (conservative C-edges), and the actual mode is discovered at
+	// runtime, where an Update after a Read of the same row promotes the
+	// access SH→EX in place (see Tx.promote). Declaring modes buys the
+	// precise column-level analysis; omitting them buys not having to
+	// know the write set per piece.
 	Write bool
 }
 
@@ -72,12 +87,27 @@ type Piece struct {
 	lastConflict map[*Template]int
 }
 
+// annotated reports whether the piece declares any access mode. An
+// un-annotated piece's accesses must be analyzed as potential writes:
+// the runtime may promote any of them to a write in place.
+func (p *Piece) annotated() bool {
+	for _, a := range p.Accesses {
+		if a.Write {
+			return true
+		}
+	}
+	return false
+}
+
 // conflictsWith reports whether two piece templates have a column-level
-// conflict: same table, overlapping columns, at least one side writing.
+// conflict: same table, overlapping columns, at least one side writing —
+// where an access of an un-annotated piece counts as writing, since
+// nothing rules the write out statically.
 func (p *Piece) conflictsWith(q *Piece) bool {
+	pAnn, qAnn := p.annotated(), q.annotated()
 	for _, a := range p.Accesses {
 		for _, b := range q.Accesses {
-			if a.Table != b.Table || !(a.Write || b.Write) {
+			if a.Table != b.Table || !(a.Write || !pAnn || b.Write || !qAnn) {
 				continue
 			}
 			if a.mask()&b.mask() != 0 {
@@ -329,6 +359,7 @@ type Tx struct {
 	t        *txn.Txn
 	tmpl     *Template
 	env      any
+	col      *stats.Collector
 	workerID int
 	deps     map[*Tx]struct{}
 	accs     []*access
@@ -405,13 +436,17 @@ func (tx *Tx) attach(row *storage.Row, piece *Piece, write bool) (*access, error
 		return nil, fmt.Errorf("chop: piece accesses undeclared table %s", row.Table.Schema.Name)
 	}
 	// Re-access within the running piece: reuse the existing access so
-	// earlier mutations are not lost (workloads touch a row once per
-	// piece; this is defensive).
+	// earlier mutations are not lost. A write after a read of the same
+	// row promotes the read access in place rather than stacking a
+	// second access next to it — the chop-side analogue of the lock
+	// manager's SH→EX upgrade, and what lets un-annotated piece bodies
+	// run read-then-update without pre-declaring their write set.
 	for i := len(tx.accs) - 1; i >= 0; i-- {
 		if a := tx.accs[i]; a.row == row && !a.done {
 			if !write || a.write {
 				return a, nil
 			}
+			return tx.promote(a)
 		}
 	}
 	mine := &access{t: tx.t, owner: tx, mask: mask, write: write, row: row, rs: rs}
@@ -482,6 +517,77 @@ func (tx *Tx) attach(row *storage.Row, piece *Piece, write bool) (*access, error
 	tx.accs = append(tx.accs, mine)
 	rs.unlock()
 	return mine, nil
+}
+
+// promote upgrades a same-piece read access to a write in place,
+// mirroring the lock manager's SH→EX upgrade semantics: the read hold is
+// never given up, so an upgraded read-modify-write cannot lose an
+// update. Becoming a writer creates conflicts with the plain readers the
+// access previously commuted with, so promote first waits for every
+// unfinished overlapping access of other transactions to finish its
+// piece, then records commit dependencies on all overlapping accessors
+// and re-clones the row image — the read path aliases the published
+// image, which a writer must never mutate in place. Two running pieces
+// promoting against each other on the same row are a symmetric upgrade
+// deadlock; the attach deadline converts it into an abort-and-retry, the
+// same resolution the lock engine reaches by wounding.
+func (tx *Tx) promote(a *access) (*access, error) {
+	rs := a.rs
+	deadline := time.Now().Add(tx.e.WaitTimeout)
+	spin := 0
+	rs.lock()
+	for {
+		if tx.t.Aborting() {
+			rs.unlock()
+			return nil, lock.ErrAborting
+		}
+		var blocker *access
+		for _, b := range rs.accs {
+			if b.t == tx.t || b.done || b.unwound {
+				continue
+			}
+			if b.mask&a.mask != 0 {
+				blocker = b
+				break
+			}
+		}
+		if blocker == nil {
+			break
+		}
+		rs.unlock()
+		waitStart := time.Now()
+		for ; ; spin++ {
+			if tx.t.Aborting() {
+				tx.waited += time.Since(waitStart)
+				return nil, lock.ErrAborting
+			}
+			if blockerResolved(rs, blocker) {
+				break
+			}
+			if time.Now().After(deadline) {
+				tx.waited += time.Since(waitStart)
+				return nil, errTimeout
+			}
+			lock.Backoff(spin)
+		}
+		tx.waited += time.Since(waitStart)
+		rs.lock()
+	}
+	for _, b := range rs.accs {
+		if b.t != tx.t && !b.unwound && b.mask&a.mask != 0 {
+			if tx.deps == nil {
+				tx.deps = make(map[*Tx]struct{}, 8)
+			}
+			tx.deps[b.owner] = struct{}{}
+		}
+	}
+	a.write = true
+	a.local = bytes.Clone(*a.row.OCCImage.Load())
+	rs.unlock()
+	if tx.col != nil {
+		tx.col.RecordUpgrade()
+	}
+	return a, nil
 }
 
 // blockerResolved reports whether the blocking access finished or left.
@@ -593,7 +699,7 @@ func (s *Session) Run(t *Template, env any) error {
 			s.retryBackoff(attempt)
 		}
 		tt := txn.New(id)
-		tx := &Tx{e: s.e, t: tt, tmpl: t, env: env, workerID: s.worker}
+		tx := &Tx{e: s.e, t: tt, tmpl: t, env: env, col: s.col, workerID: s.worker}
 		start := time.Now()
 		err := s.execute(tx, t)
 		exec := time.Since(start) - tx.waited

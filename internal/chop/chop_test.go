@@ -84,6 +84,111 @@ func TestAnalyzeKeepsDisjointColumns(t *testing.T) {
 	}
 }
 
+// TestAnalyzeUnannotatedConservative: pieces declaring no access modes
+// must be analyzed as potential writers — two mode-less templates whose
+// table orders cross merge exactly as annotated writers would, where a
+// read-only reading of the same declarations would see no C-edge at all.
+func TestAnalyzeUnannotatedConservative(t *testing.T) {
+	mk := func(tables ...string) *chop.Template {
+		tt := &chop.Template{Name: tables[0] + "-first"}
+		for _, tb := range tables {
+			tt.Pieces = append(tt.Pieces, &chop.Piece{
+				Accesses: []chop.AccessDecl{{Table: tb, Cols: []int{0}}},
+				Body:     func(*chop.PieceTx) error { return nil },
+			})
+		}
+		return tt
+	}
+	a := mk("X", "Y")
+	b := mk("Y", "X")
+	var reg chop.Registry
+	reg.Register(a)
+	reg.Register(b)
+	reg.Analyze()
+	if reg.Merges() == 0 {
+		t.Fatal("un-annotated crossing templates not merged; analysis trusted absent mode declarations")
+	}
+	if len(a.Pieces) != 1 || len(b.Pieces) != 1 {
+		t.Fatalf("pieces after merge: %d and %d, want 1 and 1", len(a.Pieces), len(b.Pieces))
+	}
+}
+
+// TestInPlacePromotion: an un-annotated read-then-update piece promotes
+// its read access SH→EX in place — one access per row, counted as an
+// upgrade, and the concurrent increments it performs conserve.
+func TestInPlacePromotion(t *testing.T) {
+	db := core.NewDB(core.Config{})
+	tbl := buildKV(db, 4)
+	valCol := tbl.Schema.ColIndex("val")
+
+	var maxAccs atomic.Int64
+	tmpl := &chop.Template{Name: "rmw", Pieces: []*chop.Piece{{
+		Accesses: []chop.AccessDecl{{Table: "kv", Cols: []int{valCol}}}, // no mode declared
+		Body: func(pt *chop.PieceTx) error {
+			k := pt.Env().(uint64)
+			row := tbl.Get(k)
+			if _, err := pt.Read(row); err != nil {
+				return err
+			}
+			return pt.Update(row, func(img []byte) {
+				tbl.Schema.AddInt64(img, valCol, 1)
+			})
+		},
+	}}}
+	var reg chop.Registry
+	reg.Register(tmpl)
+	e := chop.New(db, &reg)
+
+	db.SetOnCommit(func(_ int, _, _ uint64, accesses []core.AccessInfo, _ int) {
+		if n := int64(len(accesses)); n > maxAccs.Load() {
+			maxAccs.Store(n)
+		}
+		for _, a := range accesses {
+			if a.Mode != lock.EX {
+				panic("promoted access committed as SH")
+			}
+		}
+	})
+
+	const workers, per = 8, 150
+	cols := make([]*stats.Collector, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		cols[w] = &stats.Collector{}
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sess := e.NewSession(w, cols[w])
+			rng := rand.New(rand.NewSource(int64(w)*17 + 3))
+			for i := 0; i < per; i++ {
+				if err := sess.Run(tmpl, uint64(rng.Intn(4))); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	var total int64
+	for k := uint64(0); k < 4; k++ {
+		total += tbl.Schema.GetInt64(*tbl.Get(k).OCCImage.Load(), valCol)
+	}
+	if total != workers*per {
+		t.Fatalf("total = %d, want %d (lost or doubled updates through promotion)", total, workers*per)
+	}
+	if got := maxAccs.Load(); got != 1 {
+		t.Fatalf("%d accesses recorded for a single-row read-then-update, want 1 promoted access", got)
+	}
+	var upgrades uint64
+	for _, c := range cols {
+		upgrades += c.Upgrades
+	}
+	if upgrades == 0 {
+		t.Fatal("no upgrades recorded; promotion path not taken")
+	}
+}
+
 func TestIC3CounterConservation(t *testing.T) {
 	db := core.NewDB(core.Config{})
 	tbl := buildKV(db, 4)

@@ -1,0 +1,117 @@
+package core_test
+
+import (
+	"testing"
+
+	"bamboo/internal/core"
+	"bamboo/internal/lock"
+	"bamboo/internal/storage"
+	"bamboo/internal/workload/ycsb"
+)
+
+// TestAdaptiveEndToEnd drives a skewed multi-worker YCSB run with the
+// adaptive engine on and checks the whole feedback loop fired: the
+// detector classified entries (policy flips recorded), transactions kept
+// committing, and the serializable executor stayed correct under
+// mid-run policy switches (verified transfers below).
+func TestAdaptiveEndToEnd(t *testing.T) {
+	cfg := core.Bamboo()
+	cfg.Adaptive = true
+	cfg.AdaptiveInterval = 1e6 // 1ms: converge within the short run
+	db := core.NewDB(cfg)
+	defer db.Close()
+
+	w, err := ycsb.Load(db, ycsb.Config{
+		Rows: 2000, OpsPerTxn: 16, Theta: 0.9, ReadRatio: 0.5,
+		Columns: 4, ColumnBytes: 32,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := core.RunN(core.NewLockEngine(db), 4, 400, w.Generator())
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if res.Report.Commits == 0 {
+		t.Fatal("no commits on the adaptive run")
+	}
+	if db.Global.PolicyFlips.Load() == 0 {
+		t.Fatal("adaptive engine made no classifications on a theta-0.9 run")
+	}
+	if db.AdaptiveEngine() == nil {
+		t.Fatal("AdaptiveEngine() nil with Config.Adaptive set")
+	}
+	// Adaptive mode opts the flat layout into partition counters — the
+	// detector must not be blind on unpartitioned tables.
+	if db.Global.NumPartitions() != 1 {
+		t.Fatalf("flat adaptive layout has %d partition counters, want 1", db.Global.NumPartitions())
+	}
+	if acc := db.Global.PartitionAccesses(); len(acc) != 1 || acc[0] == 0 {
+		t.Fatalf("flat-layout partition counter not fed: %v", acc)
+	}
+	// The report mirrors the counters the engine maintains.
+	if res.Report.PolicyFlips == 0 {
+		t.Fatal("report missing policy flips")
+	}
+	t.Logf("flips=%d hot=%d batched=%d commits=%d abort-rate=%.2f",
+		res.Report.PolicyFlips, res.Report.HotEntries,
+		res.Report.BatchedGrants, res.Report.Commits, res.Report.AbortRate)
+}
+
+// TestAdaptiveConsistency runs verified balance transfers (the invariant
+// checker pattern of the checkpoint tests) under adaptive mode: policy
+// switches mid-run must never produce a non-serializable interleaving.
+func TestAdaptiveConsistency(t *testing.T) {
+	cfg := core.Bamboo()
+	cfg.Adaptive = true
+	cfg.AdaptiveInterval = 1e6
+	db := core.NewDB(cfg)
+	defer db.Close()
+
+	schema := storage.NewSchema("acct", storage.Column{Name: "balance", Type: storage.ColInt64})
+	tbl := db.Catalog.MustCreateTable(schema, 0)
+	const rows = 16
+	const per = int64(100)
+	for k := uint64(0); k < rows; k++ {
+		img := schema.NewRowImage()
+		schema.SetInt64(img, 0, per)
+		tbl.MustInsertRow(k, img)
+	}
+
+	res := core.RunN(core.NewLockEngine(db), 4, 300, func(worker, seq int) core.TxnFunc {
+		src := uint64((worker*7 + seq) % rows)
+		dst := uint64((worker*13 + seq*5 + 1) % rows)
+		if src == dst {
+			dst = (dst + 1) % rows
+		}
+		return func(tx core.Tx) error {
+			if err := tx.Update(tbl.Get(src), func(img []byte) {
+				schema.AddInt64(img, 0, -1)
+			}); err != nil {
+				return err
+			}
+			return tx.Update(tbl.Get(dst), func(img []byte) {
+				schema.AddInt64(img, 0, 1)
+			})
+		}
+	})
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	var total int64
+	for k := uint64(0); k < rows; k++ {
+		total += schema.GetInt64(tbl.Get(k).Entry.CurrentData(), 0)
+	}
+	if want := per * rows; total != want {
+		t.Fatalf("balance sum = %d, want %d (adaptive run lost money)", total, want)
+	}
+	// Cold-converged entries should have left the retire path by the end
+	// of a run this uniform only if classified; either way the policy
+	// words must hold valid values.
+	tbl.Range(func(_ uint64, r *storage.Row) bool {
+		if p := r.Entry.Policy(); p > lock.PolicyNoRetire {
+			t.Fatalf("invalid policy word %d", p)
+		}
+		return true
+	})
+}

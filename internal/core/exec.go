@@ -224,8 +224,16 @@ func (tx *lockTx) acquire(row *storage.Row, mode lock.Mode) (*lock.Request, erro
 	err := tx.db.Lock.AcquireInto(req, tx.t, mode, &row.Entry)
 	tx.lockWait += time.Since(start)
 	tx.db.Global.RecordPartAccess(row.PartitionID)
+	if ad := tx.db.adapt; ad != nil {
+		if row.Entry.RecordAccess() == 1 && row.Entry.MarkSeen() {
+			ad.Register(&row.Entry, row.PartitionID)
+		}
+	}
 	if err != nil {
 		tx.db.Global.RecordPartConflict(row.PartitionID)
+		if tx.db.adapt != nil {
+			row.Entry.RecordConflict()
+		}
 		tx.s.pool.Put(req)
 		return nil, err
 	}
@@ -289,7 +297,7 @@ func (tx *lockTx) Update(row *storage.Row, mutate func(img []byte)) error {
 			// cloned, and no user callback ever runs under an entry
 			// latch. The retire decision (shouldRetire) depends only on
 			// declared-ops bookkeeping, so it can be taken up front.
-			if tx.shouldRetire() {
+			if tx.shouldRetire(&row.Entry) {
 				if tx.db.cfg.CaptureReads && a.readImage == nil {
 					a.readImage = bytes.Clone(a.req.Data)
 				}
@@ -300,6 +308,9 @@ func (tx *lockTx) Update(row *storage.Row, mutate func(img []byte)) error {
 				tx.lockWait += time.Since(start)
 				if err != nil {
 					tx.db.Global.RecordPartConflict(row.PartitionID)
+					if tx.db.adapt != nil {
+						row.Entry.RecordConflict()
+					}
 					return err
 				}
 				a.mode = lock.EX
@@ -313,6 +324,9 @@ func (tx *lockTx) Update(row *storage.Row, mutate func(img []byte)) error {
 			tx.lockWait += time.Since(start)
 			if err != nil {
 				tx.db.Global.RecordPartConflict(row.PartitionID)
+				if tx.db.adapt != nil {
+					row.Entry.RecordConflict()
+				}
 				return err
 			}
 			a.mode = lock.EX
@@ -344,7 +358,7 @@ func (tx *lockTx) Update(row *storage.Row, mutate func(img []byte)) error {
 		tx.accesses[i].readImage = bytes.Clone(req.Data)
 	}
 	mutate(req.Data)
-	if tx.shouldRetire() {
+	if tx.shouldRetire(&row.Entry) {
 		tx.db.Lock.Retire(req)
 		tx.accesses[i].retired = true
 		tx.s.col.RecordRetire()
@@ -356,9 +370,16 @@ func (tx *lockTx) Update(row *storage.Row, mutate func(img []byte)) error {
 // write falls in the last δ fraction of the transaction's declared
 // accesses. With no declaration every write retires — the paper's
 // interactive-mode behavior where each write is treated as the last.
-func (tx *lockTx) shouldRetire() bool {
+// With adaptive contention control, entries the feedback engine
+// classified cold never retire — on an uncontended entry the early
+// release buys nothing and the retired-list bookkeeping (and the
+// cascade exposure) is pure cost.
+func (tx *lockTx) shouldRetire(e *lock.Entry) bool {
 	cfg := &tx.db.cfg
 	if cfg.Variant != lock.Bamboo || !cfg.RetireWrites || cfg.ManualRetire {
+		return false
+	}
+	if tx.db.adapt != nil && e.Policy() == lock.PolicyNoRetire {
 		return false
 	}
 	if cfg.Delta <= 0 || tx.declaredOps == 0 {

@@ -1,0 +1,185 @@
+package lock
+
+import (
+	"testing"
+)
+
+// adaptiveMgr is the full-Bamboo configuration with the adaptive policy
+// hooks enabled, counting batched grants into *count.
+func adaptiveMgr(count *int) *Manager {
+	return NewManager(Config{
+		Variant: Bamboo, RetireReads: true, NoWoundRead: true,
+		Adaptive:       true,
+		OnBatchedGrant: func(n int) { *count += n },
+	})
+}
+
+// TestAdaptiveColdSHGrantsAsOwner: on an entry classified PolicyNoRetire
+// a shared grant skips the positioned retire-read path and joins owners,
+// exactly like plain Wound-Wait — the retired-list bookkeeping only pays
+// for itself under contention.
+func TestAdaptiveColdSHGrantsAsOwner(t *testing.T) {
+	var n int
+	m := adaptiveMgr(&n)
+	e := newEntry()
+	e.SetPolicy(PolicyNoRetire)
+	r := mustAcquire(t, m, newTxnTS(1, 1), SH, e)
+	if r.Retired() {
+		t.Fatal("cold-entry SH grant landed in retired; want plain owner grant")
+	}
+	if re, ow, _ := e.Snapshot(); re != 0 || ow != 1 {
+		t.Fatalf("retired=%d owners=%d, want 0/1", re, ow)
+	}
+	m.Release(r, false)
+	if err := e.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAdaptivePolicyIgnoredWhenOff: a manager built without
+// Config.Adaptive never reads the policy word — a stray classification
+// cannot change the static protocol.
+func TestAdaptivePolicyIgnoredWhenOff(t *testing.T) {
+	m := bambooMgr() // Adaptive off
+	e := newEntry()
+	e.SetPolicy(PolicyNoRetire)
+	r := mustAcquire(t, m, newTxnTS(1, 1), SH, e)
+	if !r.Retired() {
+		t.Fatal("static RetireReads grant should land in retired regardless of policy word")
+	}
+	m.Release(r, false)
+}
+
+// TestAdaptiveHotDefaultUnchanged: PolicyRetire and PolicyDefault keep
+// the static full-Bamboo grant behavior on the read path.
+func TestAdaptiveHotDefaultUnchanged(t *testing.T) {
+	var n int
+	for _, p := range []uint32{PolicyDefault, PolicyRetire} {
+		m := adaptiveMgr(&n)
+		e := newEntry()
+		e.SetPolicy(p)
+		r := mustAcquire(t, m, newTxnTS(1, 1), SH, e)
+		if !r.Retired() {
+			t.Fatalf("policy %d: SH grant not retired", p)
+		}
+		m.Release(r, false)
+	}
+}
+
+// TestBatchedGrantReaders drives the hot-entry batched grant directly:
+// with an exclusive owner active, queued readers *older* than that owner
+// are all granted positioned in one promote pass (they read the version
+// at their timestamp slot and the younger writer is commit-ordered after
+// them), while a reader younger than the owner stays queued — bypassing
+// an older writer would break the younger-waits-for-older invariant.
+func TestBatchedGrantReaders(t *testing.T) {
+	var batched int
+	m := adaptiveMgr(&batched)
+	e := newEntry()
+	e.SetPolicy(PolicyRetire)
+
+	hold := mustAcquire(t, m, newTxnTS(35, 35), EX, e)
+
+	// Queue readers around the owner's timestamp. The head (SH 30) stops
+	// the normal promote loop on the owner conflict; the batch pass must
+	// pick up both readers older than the owner.
+	r30 := &Request{Txn: newTxnTS(30, 30), Mode: SH, entry: e}
+	r32 := &Request{Txn: newTxnTS(32, 32), Mode: SH, entry: e}
+	r40 := &Request{Txn: newTxnTS(40, 40), Mode: SH, entry: e}
+	e.latch.Lock()
+	e.waiters.insertByTS(r30)
+	e.waiters.insertByTS(r32)
+	e.waiters.insertByTS(r40)
+	m.promoteWaiters(e)
+	e.latch.Unlock()
+
+	if !r30.Retired() || !r32.Retired() {
+		t.Fatalf("older readers not batch-granted: r30=%v r32=%v", r30.stateLoad(), r32.stateLoad())
+	}
+	if r40.Granted() {
+		t.Fatal("reader younger than the active writer must stay queued")
+	}
+	if batched != 2 {
+		t.Fatalf("OnBatchedGrant counted %d, want 2", batched)
+	}
+	if err := e.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The bypassed writer was commit-ordered after the readers.
+	if hold.Txn.Sem() == 0 {
+		t.Fatal("bypassed writer holds no commit-semaphore increment")
+	}
+	m.Release(r30, false)
+	m.Release(r32, false)
+	// Releasing the writer promotes the remaining younger reader.
+	m.Release(hold, false)
+	if !r40.Granted() {
+		t.Fatal("younger reader not granted after the writer released")
+	}
+	m.Release(r40, false)
+	if err := e.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBatchedGrantSkipsColdEntries: the same stranded-reader shape on an
+// entry not classified hot leaves the queue untouched — the batch scan
+// is hot-entry-only overhead.
+func TestBatchedGrantSkipsColdEntries(t *testing.T) {
+	var batched int
+	m := adaptiveMgr(&batched)
+	e := newEntry()
+	e.SetPolicy(PolicyDefault) // unclassified: no batching
+
+	hold := mustAcquire(t, m, newTxnTS(35, 35), EX, e)
+	r30 := &Request{Txn: newTxnTS(30, 30), Mode: SH, entry: e}
+	e.latch.Lock()
+	e.waiters.insertByTS(r30)
+	m.promoteWaiters(e)
+	e.latch.Unlock()
+
+	if r30.Granted() || batched != 0 {
+		t.Fatalf("unclassified entry batch-granted (granted=%v count=%d)", r30.Granted(), batched)
+	}
+	m.Release(hold, false)
+	if !r30.Granted() {
+		t.Fatal("reader not granted after writer release")
+	}
+	m.Release(r30, false)
+}
+
+// TestEntryWindowAndPolicy covers the sampling-window primitives the
+// adaptive engine builds on.
+func TestEntryWindowAndPolicy(t *testing.T) {
+	e := newEntry()
+	if a, c := e.TakeWindow(); a != 0 || c != 0 {
+		t.Fatalf("fresh window = %d/%d", a, c)
+	}
+	for i := 0; i < 5; i++ {
+		e.RecordAccess()
+	}
+	e.RecordConflict()
+	if a, c := e.TakeWindow(); a != 5 || c != 1 {
+		t.Fatalf("window = %d/%d, want 5/1", a, c)
+	}
+	if a, c := e.TakeWindow(); a != 0 || c != 0 {
+		t.Fatalf("window not reset: %d/%d", a, c)
+	}
+	if e.Policy() != PolicyDefault {
+		t.Fatal("fresh entry not PolicyDefault")
+	}
+	if !e.SetPolicy(PolicyRetire) {
+		t.Fatal("first classification should report a flip")
+	}
+	if e.SetPolicy(PolicyRetire) {
+		t.Fatal("same policy should not report a flip")
+	}
+	if !e.SetPolicy(PolicyNoRetire) {
+		t.Fatal("policy change should report a flip")
+	}
+	e.SetEWMA(0.25)
+	if got := e.EWMA(); got != 0.25 {
+		t.Fatalf("EWMA = %v, want 0.25", got)
+	}
+}

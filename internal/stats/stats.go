@@ -75,6 +75,16 @@ type Global struct {
 	VersionsPruned  atomic.Uint64
 	VersionChainMax atomic.Uint64
 
+	// Adaptive contention-control telemetry: HotEntries is a gauge of
+	// entries currently classified hot (PolicyRetire), PolicyFlips counts
+	// per-entry policy-word changes, and BatchedGrants counts readers
+	// granted by hot-entry batched grant passes. The first two are
+	// written by the feedback engine's tick, the last by the lock
+	// manager's OnBatchedGrant hook.
+	HotEntries    atomic.Uint64
+	PolicyFlips   atomic.Uint64
+	BatchedGrants atomic.Uint64
+
 	// parts is sized once at DB construction (InitPartitions) and never
 	// resized, so the hot-path Record calls are a bounds check and an
 	// atomic add — zero allocations.
@@ -157,6 +167,25 @@ func snapshotParts(parts []PartitionCounter, get func(*PartitionCounter) uint64)
 	}
 	return out
 }
+
+// RecordBatchedGrant adds n readers granted in one hot-entry batched
+// grant pass (the lock.Config.OnBatchedGrant hook).
+func (g *Global) RecordBatchedGrant(n int) {
+	if n > 0 {
+		g.BatchedGrants.Add(uint64(n))
+	}
+}
+
+// RecordPolicyFlips adds n per-entry policy changes from one engine tick.
+func (g *Global) RecordPolicyFlips(n uint64) {
+	if n > 0 {
+		g.PolicyFlips.Add(n)
+	}
+}
+
+// SetHotEntries publishes the current hot-entry count (a gauge, stored by
+// each engine tick).
+func (g *Global) SetHotEntries(n uint64) { g.HotEntries.Store(n) }
 
 // RecordVersionsPruned adds n reclaimed version nodes.
 func (g *Global) RecordVersionsPruned(n uint64) {
@@ -282,6 +311,13 @@ type Report struct {
 	VersionsPruned  uint64
 	VersionChainMax uint64
 
+	// Adaptive contention-control telemetry (adaptive runs only): entries
+	// classified hot at the end of the run, per-entry policy changes, and
+	// readers granted by hot-entry batched grant passes.
+	HotEntries    uint64
+	PolicyFlips   uint64
+	BatchedGrants uint64
+
 	// Per-partition telemetry (partition-aware runs only): accesses and
 	// conflicts per partition id, and the access skew — the hottest
 	// partition's share of accesses relative to a perfectly balanced
@@ -354,6 +390,9 @@ func Summarize(protocol string, elapsed time.Duration, workers []*Collector, g *
 		r.MaxChain = g.ChainMax.Load()
 		r.VersionsPruned += g.VersionsPruned.Load()
 		r.VersionChainMax = g.VersionChainMax.Load()
+		r.HotEntries = g.HotEntries.Load()
+		r.PolicyFlips = g.PolicyFlips.Load()
+		r.BatchedGrants = g.BatchedGrants.Load()
 		r.PartitionAccesses = g.PartitionAccesses()
 		r.PartitionConflicts = g.PartitionConflicts()
 		r.PartitionSkew = skewOf(r.PartitionAccesses)

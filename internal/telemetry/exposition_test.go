@@ -47,6 +47,9 @@ func fixedRegistry() *Registry {
 	g.ChainMax.Store(3)
 	g.VersionsPruned.Store(8)
 	g.VersionChainMax.Store(4)
+	g.SetHotEntries(12)
+	g.RecordPolicyFlips(31)
+	g.RecordBatchedGrant(64)
 	g.InitPartitions(2)
 	for i := 0; i < 30; i++ {
 		g.RecordPartAccess(0)

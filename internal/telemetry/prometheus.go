@@ -62,6 +62,9 @@ func (r *Registry) WriteMetrics(w io.Writer) {
 		}
 		versionsPruned += g.VersionsPruned.Load()
 		counter(w, "bamboo_version_chain_max", "Longest MVCC version chain observed.", "gauge", g.VersionChainMax.Load())
+		counter(w, "bamboo_adaptive_hot_entries", "Entries currently classified hot by the adaptive engine.", "gauge", g.HotEntries.Load())
+		counter(w, "bamboo_adaptive_policy_flips_total", "Per-entry retire-policy changes made by the adaptive engine.", "counter", g.PolicyFlips.Load())
+		counter(w, "bamboo_adaptive_batched_grants_total", "Readers granted by hot-entry batched grant passes.", "counter", g.BatchedGrants.Load())
 	}
 
 	if src.WAL != nil {

@@ -106,6 +106,10 @@ type Snapshot struct {
 	VersionsPruned  uint64 `json:"versions_pruned"`
 	VersionChainMax uint64 `json:"version_chain_max"`
 
+	HotEntries    uint64 `json:"hot_entries"`
+	PolicyFlips   uint64 `json:"policy_flips"`
+	BatchedGrants uint64 `json:"batched_grants"`
+
 	LatencyCount            uint64             `json:"latency_count"`
 	LatencySumSeconds       float64            `json:"latency_sum_seconds"`
 	LatencyQuantilesSeconds map[string]float64 `json:"latency_quantiles_seconds,omitempty"`
@@ -144,6 +148,9 @@ func (r *Registry) Snapshot() Snapshot {
 		s.CascadeChainMax = g.ChainMax.Load()
 		s.VersionsPruned += g.VersionsPruned.Load()
 		s.VersionChainMax = g.VersionChainMax.Load()
+		s.HotEntries = g.HotEntries.Load()
+		s.PolicyFlips = g.PolicyFlips.Load()
+		s.BatchedGrants = g.BatchedGrants.Load()
 		s.PartitionAccesses = g.PartitionAccesses()
 		s.PartitionConflicts = g.PartitionConflicts()
 		s.PartitionSkew = skewOf(s.PartitionAccesses)

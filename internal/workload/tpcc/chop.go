@@ -17,6 +17,13 @@ import (
 // C-edge on the hottest table and the warehouse pieces run without
 // waiting. With ModifiedNewOrder, NewOrder also reads w_ytd, creating the
 // "true" conflict that collapses IC3's advantage (Figure 11c/d).
+//
+// Under Config.Unannotated the Write flags are stripped: pieces declare
+// tables and columns but no modes, the analysis goes conservative, and
+// the bodies' read-then-update accesses (see Workload.update) promote
+// SH→EX in place inside the chop engine at runtime. The NewOrder+Payment
+// C-edge set is unchanged by the stripping — every overlapping column
+// pair already had a writer — so the mix still analyzes to zero merges.
 func (w *Workload) ChopRegistry() (*chop.Registry, *chop.Template, *chop.Template) {
 	wc, dc, cc, ic, sc := w.wc, w.dc, w.cc, w.ic, w.sc
 
@@ -97,6 +104,16 @@ func (w *Workload) ChopRegistry() (*chop.Registry, *chop.Template, *chop.Templat
 			},
 		},
 	}}
+
+	if w.cfg.Unannotated {
+		for _, t := range []*chop.Template{payment, neworder} {
+			for _, p := range t.Pieces {
+				for i := range p.Accesses {
+					p.Accesses[i].Write = false
+				}
+			}
+		}
+	}
 
 	reg := &chop.Registry{}
 	reg.Register(payment)

@@ -305,6 +305,41 @@ func TestTPCCConsistencyIC3(t *testing.T) {
 	}
 }
 
+// TestTPCCConsistencyIC3Unannotated runs the IC3 mix with the access
+// modes stripped from the templates: the bodies' read-then-update
+// accesses promote SH→EX in place inside the chop engine, the
+// conservative analysis still finds zero merges (every overlapping
+// column pair already had a writer), and the spec's consistency
+// conditions must survive.
+func TestTPCCConsistencyIC3Unannotated(t *testing.T) {
+	cfg := testConfig(1)
+	cfg.Unannotated = true
+	db := core.NewDB(core.Config{})
+	w, err := tpcc.Load(db, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg, payment, neworder := w.ChopRegistry()
+	if reg.Merges() != 0 {
+		t.Fatalf("un-annotated TPC-C templates merged %d times; conservative C-edge set should be unchanged", reg.Merges())
+	}
+	e := chop.New(db, reg)
+	cols, err := w.RunIC3(e, payment, neworder, 8, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var upgrades uint64
+	for _, c := range cols {
+		upgrades += c.Upgrades
+	}
+	if upgrades == 0 {
+		t.Fatal("no in-place promotions recorded; un-annotated bodies did not drive the upgrade path")
+	}
+	if err := w.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestTPCCConsistencyIC3SingleProc stresses the IC3 engine's retry path
 // at GOMAXPROCS(1) — the configuration where the attach / piece-order
 // spin loops used to livelock rarely under -race. The fix (escalating
