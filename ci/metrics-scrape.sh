@@ -44,6 +44,7 @@ echo "scraping http://$addr/metrics"
 saw_conflicts=0
 saw_syncs=0
 saw_quantile=0
+saw_recycled=0
 scrapes=0
 while kill -0 "$pid" 2>/dev/null; do
   if curl -sf "http://$addr/metrics" > "$BASE/scrape.txt" 2>/dev/null; then
@@ -59,12 +60,18 @@ while kill -0 "$pid" 2>/dev/null; do
     if grep -Eq '^bamboo_txn_latency_seconds\{quantile="0\.99"\} [0-9]' "$BASE/scrape.txt"; then
       saw_quantile=1
     fi
+    # The durability sweep runs the non-MVCC locking engine, so the
+    # image-recycling protocol is live: spare buffers captured at commit
+    # release must be serving write copies, not just rendering zeros.
+    if grep -Eq '^bamboo_image_pool_recycled_total [1-9]' "$BASE/scrape.txt"; then
+      saw_recycled=1
+    fi
   fi
   sleep 0.2
 done
 wait "$pid" || { echo "bench run failed"; cat "$BASE/bench.log"; exit 1; }
 
-echo "scrapes: $scrapes (conflicts=$saw_conflicts syncs=$saw_syncs quantile=$saw_quantile)"
+echo "scrapes: $scrapes (conflicts=$saw_conflicts syncs=$saw_syncs quantile=$saw_quantile recycled=$saw_recycled)"
 fail=0
 if [ "$saw_conflicts" != 1 ]; then
   echo "FAIL: no scrape showed a nonzero bamboo_partition_conflicts_total"
@@ -76,6 +83,10 @@ if [ "$saw_syncs" != 1 ]; then
 fi
 if [ "$saw_quantile" != 1 ]; then
   echo "FAIL: no scrape showed bamboo_txn_latency_seconds quantiles"
+  fail=1
+fi
+if [ "$saw_recycled" != 1 ]; then
+  echo "FAIL: no scrape showed a nonzero bamboo_image_pool_recycled_total"
   fail=1
 fi
 if [ "$fail" != 0 ]; then

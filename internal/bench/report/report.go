@@ -138,6 +138,13 @@ type Point struct {
 	VersionsPruned  uint64 `json:"versions_pruned,omitempty"`
 	VersionChainMax uint64 `json:"version_chain_max,omitempty"`
 
+	// Row-image buffer telemetry (additive + omitempty, absent in
+	// documents predating the shared-image protocol): fresh image
+	// allocations on the write path, and write copies served from
+	// recycled spare buffers instead.
+	ImageCopies       uint64 `json:"image_copies,omitempty"`
+	ImagePoolRecycled uint64 `json:"image_pool_recycled,omitempty"`
+
 	// Adaptive contention-control telemetry (additive + omitempty, absent
 	// on non-adaptive runs): entries classified hot at the end of the
 	// run, per-entry policy changes the feedback engine made, and readers
@@ -248,6 +255,8 @@ func PointFrom(x string, r stats.Report) Point {
 		SnapshotReads:      r.SnapshotReads,
 		VersionsPruned:     r.VersionsPruned,
 		VersionChainMax:    r.VersionChainMax,
+		ImageCopies:        r.ImageCopies,
+		ImagePoolRecycled:  r.ImagePoolRecycled,
 		HotEntries:         r.HotEntries,
 		PolicyFlips:        r.PolicyFlips,
 		BatchedGrants:      r.BatchedGrants,

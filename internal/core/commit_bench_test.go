@@ -1,0 +1,54 @@
+package core_test
+
+import (
+	"testing"
+
+	"bamboo/internal/core"
+	"bamboo/internal/stats"
+	"bamboo/internal/workload/ycsb"
+)
+
+// benchCommit drives the full single-session commit path — lock
+// acquisition, private write-image copy (served from the recycled-image
+// pool in steady state), WAL encode+append, version install, release —
+// one committed YCSB transaction per benchmark op, on the same
+// medium-contention profile the alloc-budget gates measure. Run with
+// -benchmem: the CI alloc-gate job parses allocs/op and B/op from
+// BenchmarkCommit and fails on regression (see .github/workflows/ci.yml).
+func benchCommit(b *testing.B, cfg core.Config) {
+	db := core.NewDB(cfg)
+	defer db.Close()
+	w, err := ycsb.Load(db, ycsb.Config{
+		Rows: 20000, OpsPerTxn: 16, Theta: 0.6, ReadRatio: 0.5,
+		Columns: 10, ColumnBytes: 100,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := core.NewLockEngine(db)
+	sess := eng.NewSession(0, &stats.Collector{})
+	gen := w.Generator()
+	const txns = 512
+	fns := make([]core.TxnFunc, txns)
+	for i := range fns {
+		fns[i] = gen(0, i)
+	}
+	// Warm up: grow the session scratch, histogram and image pool to
+	// steady state so the measured ops see the recycled-buffer path.
+	for i := 0; i < txns; i++ {
+		if err := sess.Run(fns[i]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := sess.Run(fns[i%txns]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCommit(b *testing.B) { benchCommit(b, core.Bamboo()) }
+
+func BenchmarkCommitWoundWait(b *testing.B) { benchCommit(b, core.WoundWait()) }

@@ -263,6 +263,14 @@ func NewDB(cfg Config) *DB {
 		DynamicTS:   cfg.DynamicTS,
 		OnWound:     db.Global.RecordWound,
 		OnCascade:   db.Global.RecordCascade,
+		// Superseded committed images are recycled into the write path's
+		// buffer pool only when nothing outside the lock entry can still
+		// reference them: MVCC version chains adopt every committed image
+		// (their own displaced nodes are harvested separately in
+		// installVersions), and CaptureReads hands read images to the
+		// verifier, which retains them past release. SetOnCommit also
+		// disables recycling at runtime for the same reason.
+		RecycleImages: !cfg.MVCC && !cfg.CaptureReads,
 	}
 	if adaptiveOn {
 		lockCfg.Adaptive = true
@@ -498,7 +506,9 @@ type TxnFunc func(tx Tx) error
 // in internal/rpcsim.
 type Tx interface {
 	// Read returns the image of row visible to this transaction. The
-	// caller must not mutate it.
+	// caller must not mutate it, and must not retain it past the end of
+	// the transaction body: once the transaction releases its locks the
+	// engine may recycle the image's storage for a later write.
 	Read(row *storage.Row) ([]byte, error)
 	// Update applies mutate to this transaction's private copy of row. A
 	// row this transaction previously Read is upgraded SH→EX in place

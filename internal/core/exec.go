@@ -1,7 +1,6 @@
 package core
 
 import (
-	"bytes"
 	"errors"
 	"math/rand"
 	"time"
@@ -133,6 +132,11 @@ type lockTx struct {
 	snap       uint64
 	roFallback bool
 	snapReads  uint64
+
+	// Image-copy telemetry accumulated from released requests
+	// (recycleReq) and flushed to the collector at attempt end.
+	imgCopies uint64
+	imgReuses uint64
 }
 
 type insertOp struct {
@@ -234,10 +238,33 @@ func (tx *lockTx) acquire(row *storage.Row, mode lock.Mode) (*lock.Request, erro
 		if tx.db.adapt != nil {
 			row.Entry.RecordConflict()
 		}
-		tx.s.pool.Put(req)
+		tx.recycleReq(req)
 		return nil, err
 	}
 	return req, nil
+}
+
+// recycleReq harvests the request's image-copy telemetry and returns it
+// to the session freelist. The spare image buffer rides along: Pool.Put
+// keeps it attached, so the storage captured from a superseded image at
+// release seeds the next write grant's private copy.
+func (tx *lockTx) recycleReq(req *lock.Request) {
+	c, ru := req.ImageStats()
+	tx.imgCopies += uint64(c)
+	tx.imgReuses += uint64(ru)
+	tx.s.pool.Put(req)
+}
+
+// flushImageStats records the attempt's accumulated image-copy counters.
+func (tx *lockTx) flushImageStats() {
+	if tx.imgCopies > 0 {
+		tx.s.col.RecordImageCopies(tx.imgCopies)
+		tx.imgCopies = 0
+	}
+	if tx.imgReuses > 0 {
+		tx.s.col.RecordImagesRecycled(tx.imgReuses)
+		tx.imgReuses = 0
+	}
 }
 
 // Read implements Tx.
@@ -299,14 +326,20 @@ func (tx *lockTx) Update(row *storage.Row, mutate func(img []byte)) error {
 			// declared-ops bookkeeping, so it can be taken up front.
 			if tx.shouldRetire(&row.Entry) {
 				if tx.db.cfg.CaptureReads && a.readImage == nil {
-					a.readImage = bytes.Clone(a.req.Data)
+					// One reference, not a clone: the shared grant's image
+					// is installed and immutable, and CaptureReads forces
+					// image recycling off, so it stays valid past release.
+					a.readImage = a.req.Data
 				}
-				img := bytes.Clone(a.req.Data)
+				img := a.req.CloneImage()
 				mutate(img)
 				start := time.Now()
 				err := tx.db.Lock.UpgradeRetire(a.req, img)
 				tx.lockWait += time.Since(start)
 				if err != nil {
+					// The after-image was never installed and nobody else
+					// saw it; donate its storage back as the spare.
+					a.req.StashBuf(img)
 					tx.db.Global.RecordPartConflict(row.PartitionID)
 					if tx.db.adapt != nil {
 						row.Entry.RecordConflict()
@@ -335,7 +368,9 @@ func (tx *lockTx) Update(row *storage.Row, mutate func(img []byte)) error {
 			// Read, and workloads declare an RMW row as one access — a
 			// second count would skew the δ-retire cutoff.
 			if tx.db.cfg.CaptureReads && a.readImage == nil {
-				a.readImage = bytes.Clone(a.req.Data)
+				// Upgrade saved the observed installed image in req.Read;
+				// reference it (immutable, recycling off under CaptureReads).
+				a.readImage = a.req.Read
 			}
 			mutate(a.req.Data)
 			return nil
@@ -355,7 +390,9 @@ func (tx *lockTx) Update(row *storage.Row, mutate func(img []byte)) error {
 	tx.opIndex++
 	i := tx.record(row, req, lock.EX)
 	if tx.db.cfg.CaptureReads {
-		tx.accesses[i].readImage = bytes.Clone(req.Data)
+		// The grant saved the observed installed image in req.Read;
+		// reference it (immutable, recycling off under CaptureReads).
+		tx.accesses[i].readImage = req.Read
 	}
 	mutate(req.Data)
 	if tx.shouldRetire(&row.Entry) {
@@ -459,9 +496,10 @@ func (tx *lockTx) rollback() {
 	tx.endSnapshot()
 	for i := range tx.accesses {
 		tx.db.Lock.Release(tx.accesses[i].req, true)
-		tx.s.pool.Put(tx.accesses[i].req)
+		tx.recycleReq(tx.accesses[i].req)
 		tx.accesses[i].req = nil
 	}
+	tx.flushImageStats()
 	tx.t.FinishAbort()
 }
 
@@ -470,9 +508,10 @@ func (tx *lockTx) rollback() {
 func (tx *lockTx) releaseCommitted() {
 	for i := range tx.accesses {
 		tx.db.Lock.Release(tx.accesses[i].req, false)
-		tx.s.pool.Put(tx.accesses[i].req)
+		tx.recycleReq(tx.accesses[i].req)
 		tx.accesses[i].req = nil
 	}
+	tx.flushImageStats()
 }
 
 // Accesses returns the verifier view of the attempt's accesses. Must be
@@ -504,8 +543,16 @@ func (tx *lockTx) Accesses() []AccessInfo {
 type OnCommitHook func(worker int, txnID, ts uint64, accesses []AccessInfo, inserts int)
 
 // SetOnCommit installs a commit hook (testing/verification only; it runs
-// inside the commit critical path).
-func (db *DB) SetOnCommit(h OnCommitHook) { db.onCommit = h }
+// inside the commit critical path). Hooks receive AccessInfo slices that
+// reference installed images and may retain them past lock release (the
+// verifier stores whole access lists), so installing a hook permanently
+// disables superseded-image recycling.
+func (db *DB) SetOnCommit(h OnCommitHook) {
+	db.onCommit = h
+	if h != nil {
+		db.Lock.SetImageRecycling(false)
+	}
+}
 
 // OnCommit returns the installed commit hook (nil if none). Alternate
 // engines (Silo, IC3) call it at their own commit points.
@@ -746,8 +793,20 @@ func (s *lockSession) installVersions(tx *lockTx) error {
 	for i := range tx.accesses {
 		a := &tx.accesses[i]
 		if a.mode == lock.EX {
-			_, rec := a.row.Versions.Install(a.req.Data, cts, rts)
+			// Install adopts the committed image by reference — the chain
+			// and the lock entry share one buffer per committed version.
+			_, rec, freed := a.row.Versions.Install(a.req.Data, cts, rts)
 			reclaimed += rec
+			if freed != nil {
+				// Harvest: the detached version's image is unreachable by
+				// any snapshot reader (it is below the reclaim watermark)
+				// and by the lock side (only the newest committed image can
+				// still be referenced there; this one was superseded at
+				// least one committed generation ago). Reuse its storage as
+				// the request's spare so the next write copy allocates
+				// nothing even with MVCC on.
+				a.req.StashBuf(freed)
+			}
 		}
 	}
 	for _, ins := range tx.inserts {

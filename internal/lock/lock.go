@@ -152,10 +152,33 @@ type Request struct {
 	next, prev *Request
 	onList     *reqList
 
+	// Read is the installed image an exclusive grant or upgrade observed
+	// — the immutable pre-image its private copy (Data) was built from.
+	// Executors that capture read images use it as a reference instead of
+	// cloning; it is meaningful only while the request is held, and only
+	// safe to retain past release when image recycling is off (installed
+	// images are then never overwritten).
+	Read []byte
+
 	// gen counts recycles through a Pool; tests use it to detect
 	// reuse-after-release (a request whose generation changed while a
 	// caller still held it was recycled under that caller's feet).
 	gen uint64
+
+	// buf is the request's spare image buffer: storage captured from a
+	// provably unreferenced superseded image at commit release (or donated
+	// by the MVCC version-chain harvest), consumed by the next private
+	// write copy (takeBuf). Like gen it survives reset()/Pool.Put, so the
+	// spare rides the freelist and steady-state write grants stop
+	// allocating.
+	buf []byte
+
+	// imgCopies/imgReuses count private image copies built for this
+	// request since Get: fresh allocations vs. spare-buffer reuses.
+	// Harvested by the executor (ImageStats) after Release, before
+	// Pool.Put.
+	imgCopies uint32
+	imgReuses uint32
 
 	entry      *Entry
 	state      atomic.Int32
@@ -187,11 +210,13 @@ func (r *Request) Retired() bool { return r.stateLoad() == reqRetired }
 func (r *Request) Gen() uint64 { return r.gen }
 
 // reset returns the request to its zero state, keeping the generation
-// counter. Called by Pool.Put on quiescent requests only.
+// counter and the spare image buffer. Called by Pool.Put on quiescent
+// requests only.
 func (r *Request) reset() {
 	r.Txn = nil
 	r.Mode = SH
 	r.Data = nil
+	r.Read = nil
 	r.Dirty = false
 	r.next, r.prev, r.onList = nil, nil, nil
 	r.entry = nil
@@ -200,7 +225,69 @@ func (r *Request) reset() {
 	r.installSeq = 0
 	r.unwound = false
 	r.prevImg = nil
+	r.imgCopies = 0
+	r.imgReuses = 0
 	r.state.Store(int32(reqWaiting))
+}
+
+// takeBuf builds a private copy of src, drawing storage from the
+// request's spare buffer when it fits. The spare slot is consumed either
+// way, so a capture at release can never alias an image that is still
+// someone's private copy. A nil src stays nil (keyless entries) and the
+// spare is kept.
+func (r *Request) takeBuf(src []byte) []byte {
+	if src == nil {
+		return nil
+	}
+	b := r.buf
+	r.buf = nil
+	if cap(b) < len(src) {
+		r.imgCopies++
+		b = make([]byte, len(src))
+	} else {
+		r.imgReuses++
+		b = b[:len(src)]
+	}
+	copy(b, src)
+	return b
+}
+
+// captureSpare stashes img as the request's spare buffer. Callers must
+// prove img is unreachable by every other holder, reader, version chain
+// and WAL batch — see the release-time capture rules in releaseLocked.
+// The capacity clamp keeps a capture from ever growing into a neighbor's
+// storage (loader images may be sliced from larger allocations).
+func (r *Request) captureSpare(img []byte) {
+	if len(img) > 0 {
+		r.buf = img[:len(img):len(img)]
+	}
+}
+
+// CloneImage returns a private mutable copy of the request's current
+// image, drawing storage from the request's spare buffer when possible.
+// The executor uses it to build the after-image for UpgradeRetire; a
+// caller whose copy ends up never installed may donate the storage back
+// with StashBuf.
+func (r *Request) CloneImage() []byte { return r.takeBuf(r.Data) }
+
+// StashBuf donates b as the request's spare image buffer. b must be
+// unreachable by any other component (a failed UpgradeRetire after-image
+// that was never installed, or a version-chain image detached below the
+// reclaim watermark). Only the holding session may call it.
+func (r *Request) StashBuf(b []byte) {
+	if len(b) > 0 {
+		r.buf = b[:len(b):len(b)]
+	}
+}
+
+// ImageStats returns and resets the request's image-copy counters: fresh
+// after-image allocations and spare-buffer reuses since Get. Executors
+// harvest them after Release (or an Acquire error) into their per-worker
+// stats collector.
+func (r *Request) ImageStats() (copies, reuses uint32) {
+	c, u := r.imgCopies, r.imgReuses
+	r.imgCopies, r.imgReuses = 0, 0
+	return c, u
 }
 
 // Pool is a per-worker freelist of Requests. It is NOT safe for concurrent

@@ -1,7 +1,6 @@
 package lock
 
 import (
-	"bytes"
 	"runtime"
 	"sync/atomic"
 	"time"
@@ -31,6 +30,18 @@ type Config struct {
 	// DynamicTS (Optimization 4) defers timestamp assignment to a
 	// transaction's first conflict (Algorithm 3).
 	DynamicTS bool
+
+	// RecycleImages enables superseded-image recycling: when an exclusive
+	// request releases at commit, the committed image its install (or
+	// 2PL publish) superseded is captured into the request's spare buffer,
+	// and the next exclusive grant builds its private copy in that storage
+	// instead of allocating. Safe only while nothing outside the lock
+	// table retains references to installed images past release:
+	// core.NewDB enables it exactly when MVCC version chains, CaptureReads
+	// and commit hooks are all off. Off (the zero value), images are
+	// never overwritten after publication and behavior is identical to
+	// previous releases.
+	RecycleImages bool
 
 	// Adaptive makes the grant paths consult each entry's policy word
 	// (written at runtime by the adaptive contention engine,
@@ -62,6 +73,10 @@ type Config struct {
 type Manager struct {
 	cfg       Config
 	tsCounter atomic.Uint64
+	// recycle gates superseded-image capture at release (Config.
+	// RecycleImages). Atomic so SetImageRecycling can revoke it race-free
+	// when a commit hook is installed after construction.
+	recycle atomic.Bool
 }
 
 // NewManager returns a manager with the given configuration.
@@ -71,8 +86,20 @@ func NewManager(cfg Config) *Manager {
 	if cfg.NoWoundRead {
 		cfg.RetireReads = true
 	}
-	return &Manager{cfg: cfg}
+	m := &Manager{cfg: cfg}
+	m.recycle.Store(cfg.RecycleImages)
+	return m
 }
+
+// ImageRecycling reports whether superseded-image recycling is enabled.
+func (m *Manager) ImageRecycling() bool { return m.recycle.Load() }
+
+// SetImageRecycling toggles superseded-image recycling at runtime.
+// Turning it off is immediate and permanent in practice — core.DB.
+// SetOnCommit forces it off because hooks retain image references past
+// release; images already captured into spares before the flip were
+// provably unreferenced at capture time, so they stay valid.
+func (m *Manager) SetImageRecycling(on bool) { m.recycle.Store(on) }
 
 // Variant returns the configured protocol variant.
 func (m *Manager) Variant() Variant { return m.cfg.Variant }
@@ -462,7 +489,8 @@ func (m *Manager) completeUpgradeLocked(e *Entry, r *Request) {
 		r.state.Store(int32(reqOwner))
 	}
 	r.Mode = EX
-	r.Data = bytes.Clone(r.Data)
+	r.Read = r.Data
+	r.Data = r.takeBuf(r.Data)
 	if m.cfg.Variant == Bamboo && !r.semHeld && e.retired.len() > 0 {
 		// Every remaining retiree is older and live (upgradeBlockedLocked),
 		// conflicts with the now-exclusive hold, and must commit first.
@@ -481,8 +509,9 @@ func (m *Manager) completeUpgradeLocked(e *Entry, r *Request) {
 // overhead.
 func (m *Manager) completeUpgradeRetireLocked(e *Entry, r *Request, img []byte) {
 	r.Mode = EX
+	r.Read = r.Data
 	if img == nil {
-		img = bytes.Clone(r.Data)
+		img = r.takeBuf(r.Data)
 	}
 	r.Data = img
 	if m.cfg.DynamicTS {
@@ -624,6 +653,34 @@ func (m *Manager) releaseLocked(e *Entry, r *Request, isAbort bool) {
 		}
 	}
 
+	// Superseded-image capture (RecycleImages): the storage of an image
+	// that provably has no remaining reference is stashed as the leaving
+	// request's spare buffer, to be reused by its next private write copy.
+	// The capture rules and why each is safe:
+	//
+	//   - Commit of an installed (retired) write: the pre-image r.prevImg
+	//     was superseded by r's install. Every reader or writer that could
+	//     reference it conflicts with r (all images come from EX installs,
+	//     and SH conflicts with EX), so Bamboo's commit ordering — the
+	//     semaphore taken at grant, orderSuccessorsLocked for positioned
+	//     readers, and the post-CAS Sem recheck — guarantees they all
+	//     released before r reached its commit point. A chain predecessor
+	//     writer W1 (whose Data is r's prevImg) likewise released first,
+	//     and captured only its *own* prevImg. The !unwound guard keeps the
+	//     rewind path sound: !unwound implies e.cur ≥ r.installSeq, so
+	//     e.Data is r's image or a newer install, never r.prevImg.
+	//   - Commit of a non-installed write (2PL publish): the old e.Data is
+	//     superseded. Mutual exclusion at grant (2PL) or the semaphore
+	//     ordering (Bamboo) drained every conflicting holder first.
+	//   - Abort of a non-installed write: r.Data is a private copy that was
+	//     never published; nobody else ever saw it.
+	//   - Abort of an installed write captures nothing: cascaded readers
+	//     may still hold r.Data, and the restored pre-image is live again.
+	//
+	// Capture is gated on the manager flag because components outside the
+	// lock table (MVCC chains, CaptureReads, commit hooks) may retain
+	// image references past release; core.NewDB enables recycling only
+	// when none of them are active.
 	if r.Mode == EX {
 		if isAbort {
 			// Sequence-guarded restore: cascaded aborts arrive in
@@ -641,12 +698,20 @@ func (m *Manager) releaseLocked(e *Entry, r *Request, isAbort bool) {
 						x.unwound = true
 					}
 				}
+			} else if !r.installed && m.recycle.Load() {
+				r.captureSpare(r.Data)
 			}
 		} else if !r.installed {
 			// 2PL (or non-retired Bamboo write): publish at commit.
+			old := e.Data
 			e.seq++
 			e.cur = e.seq
 			e.Data = r.Data
+			if m.recycle.Load() {
+				r.captureSpare(old)
+			}
+		} else if !r.unwound && m.recycle.Load() {
+			r.captureSpare(r.prevImg)
 		}
 	}
 
@@ -909,7 +974,8 @@ func (m *Manager) grantLocked(e *Entry, r *Request, positioned bool) bool {
 	}
 	r.Dirty = dirty
 	if r.Mode == EX {
-		r.Data = bytes.Clone(e.Data)
+		r.Read = e.Data
+		r.Data = r.takeBuf(e.Data)
 	} else {
 		r.Data = e.Data
 	}

@@ -123,6 +123,13 @@ func image(row *storage.Row) *[]byte {
 }
 
 // readStable samples a consistent (tid, image) pair.
+//
+// The sampled image reference outlives the seqlock window: read-set
+// entries hold it until validation and write-set entries clone from it,
+// with no lifetime tracking the installer could consult. Silo therefore
+// opts out of the lock engine's image-recycling protocol — its commit
+// path publishes freshly cloned images (below) and never recycles a
+// superseded one, so a reference sampled here stays immutable forever.
 func readStable(row *storage.Row) (uint64, []byte) {
 	for i := 0; ; i++ {
 		t1 := row.TID.Load()
@@ -174,6 +181,9 @@ func (tx *siloTx) Update(row *storage.Row, mutate func(img []byte)) error {
 		// declared-mode discipline: promote the read entry to a write.
 		i := tx.rbyRow[row]
 		ent := tx.reads[i]
+		// Private clones, deliberately not the lock engine's pooled
+		// takeBuf copies: latch-free readers (readStable) may still hold
+		// the base image, so no buffer here is ever provably unreferenced.
 		w := writeEnt{row: row, tid: ent.tid, base: ent.img, img: bytes.Clone(ent.img)}
 		if tx.byRow == nil {
 			tx.byRow = make(map[*storage.Row]int, 8)

@@ -38,6 +38,11 @@ type Live struct {
 	SnapshotReads  atomic.Uint64
 	VersionsPruned atomic.Uint64
 
+	// Row-image buffer telemetry: fresh image allocations on the write
+	// path vs. copies served from recycled spare buffers.
+	ImageCopies       atomic.Uint64
+	ImagePoolRecycled atomic.Uint64
+
 	// Lat accumulates the commit-latency distribution of every worker in
 	// one concurrently-readable histogram.
 	Lat AtomicHist
@@ -155,5 +160,21 @@ func (c *Collector) RecordVersionsPruned(n uint64) {
 	c.VersionsPruned += n
 	if c.Live != nil && n > 0 {
 		c.Live.VersionsPruned.Add(n)
+	}
+}
+
+// RecordImageCopies adds n fresh row-image buffer allocations.
+func (c *Collector) RecordImageCopies(n uint64) {
+	c.ImageCopies += n
+	if c.Live != nil && n > 0 {
+		c.Live.ImageCopies.Add(n)
+	}
+}
+
+// RecordImagesRecycled adds n write copies served from recycled spares.
+func (c *Collector) RecordImagesRecycled(n uint64) {
+	c.ImagePoolRecycled += n
+	if c.Live != nil && n > 0 {
+		c.Live.ImagePoolRecycled.Add(n)
 	}
 }

@@ -45,6 +45,14 @@ type Collector struct {
 	SnapshotReads  uint64
 	VersionsPruned uint64
 
+	// ImageCopies counts fresh row-image buffer allocations on the write
+	// path (the GC-visible quantity the shared-image protocol eliminates);
+	// ImagePoolRecycled counts write copies served from a recycled spare
+	// buffer instead (a superseded committed image captured at release, or
+	// a version-chain node displaced at install).
+	ImageCopies       uint64
+	ImagePoolRecycled uint64
+
 	// Upgrades counts successful SH→EX promotions (including the fused
 	// upgrade+retire path); Retires counts lock retires (writes made
 	// visible before commit).
@@ -266,6 +274,8 @@ func (c *Collector) Merge(other *Collector) {
 	}
 	c.SnapshotReads += other.SnapshotReads
 	c.VersionsPruned += other.VersionsPruned
+	c.ImageCopies += other.ImageCopies
+	c.ImagePoolRecycled += other.ImagePoolRecycled
 	c.Upgrades += other.Upgrades
 	c.Retires += other.Retires
 	c.Lat.Merge(&other.Lat)
@@ -310,6 +320,11 @@ type Report struct {
 	SnapshotReads   uint64
 	VersionsPruned  uint64
 	VersionChainMax uint64
+
+	// Row-image buffer telemetry: fresh image allocations on the write
+	// path and copies served from recycled spare buffers instead.
+	ImageCopies       uint64
+	ImagePoolRecycled uint64
 
 	// Adaptive contention-control telemetry (adaptive runs only): entries
 	// classified hot at the end of the run, per-entry policy changes, and
@@ -379,6 +394,8 @@ func Summarize(protocol string, elapsed time.Duration, workers []*Collector, g *
 	}
 	r.SnapshotReads = all.SnapshotReads
 	r.VersionsPruned = all.VersionsPruned
+	r.ImageCopies = all.ImageCopies
+	r.ImagePoolRecycled = all.ImagePoolRecycled
 	r.Upgrades = all.Upgrades
 	r.Retires = all.Retires
 	var cascades, chainSum uint64

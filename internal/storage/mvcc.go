@@ -85,13 +85,18 @@ func (c *VersionChain) Seed(ts uint64, img []byte) {
 
 // Install publishes img as the newest version with commit timestamp ts,
 // detaching (and reusing one node of) the tail of versions superseded at
-// or below reclaimTS. img must be an immutable committed image; ts must
-// be greater than every active snapshot's timestamp (guaranteed by
-// drawing it inside the SnapshotTable in-flight window). Installs on one
-// chain must be externally serialized; readers and the pruner may run
-// concurrently. Returns the chain length after the install and the
-// number of version nodes reclaimed.
-func (c *VersionChain) Install(img []byte, ts, reclaimTS uint64) (length, reclaimed int) {
+// or below reclaimTS. img must be an immutable committed image that the
+// chain adopts by reference; ts must be greater than every active
+// snapshot's timestamp (guaranteed by drawing it inside the SnapshotTable
+// in-flight window). Installs on one chain must be externally serialized;
+// readers and the pruner may run concurrently. Returns the chain length
+// after the install, the number of version nodes reclaimed, and — when a
+// tail was detached — the displaced image of the reused node. That image
+// is unreachable by every snapshot reader (a reader's walk stops at the
+// first version at or above the watermark, which the detach keeps) and
+// at least one committed generation older than anything the lock entry
+// can still reference, so the caller owns it and may recycle its storage.
+func (c *VersionChain) Install(img []byte, ts, reclaimTS uint64) (length, reclaimed int, freed []byte) {
 	head := c.head.Load()
 	// Find the newest version already visible at the watermark; every
 	// older version is unreachable by any active or future reader.
@@ -112,8 +117,10 @@ func (c *VersionChain) Install(img []byte, ts, reclaimTS uint64) (length, reclai
 					reclaimed++
 				}
 				// The detached nodes are ours alone now; reuse the first
-				// and let the (steady-state length zero) rest be collected.
+				// (node and displaced image) and let the (steady-state
+				// length zero) rest be collected.
 				node = tail
+				freed = tail.img
 			}
 		}
 	}
@@ -125,7 +132,7 @@ func (c *VersionChain) Install(img []byte, ts, reclaimTS uint64) (length, reclai
 	if head == nil || head.ts < ts {
 		node.next.Store(head)
 		c.head.Store(node)
-		return kept + 1, reclaimed
+		return kept + 1, reclaimed, freed
 	}
 	// Defensive slow path for an out-of-order install (commit timestamps
 	// per row arrive in order under the lock protocols; this guards rare
@@ -138,7 +145,7 @@ func (c *VersionChain) Install(img []byte, ts, reclaimTS uint64) (length, reclai
 			if succ == nil || succ.ts < ts {
 				node.next.Store(succ)
 				if pred.next.CompareAndSwap(succ, node) {
-					return kept + 1, reclaimed
+					return kept + 1, reclaimed, freed
 				}
 				break // re-walk from the head
 			}

@@ -70,8 +70,11 @@ func TestVersionChainInstallReclaims(t *testing.T) {
 	totalReclaimed := 0
 	for ts := uint64(10); ts <= 100; ts += 10 {
 		// Watermark = previous commit: everything older is superseded.
-		_, rec := c.Install(img64(ts), ts, ts-10)
+		_, rec, freed := c.Install(img64(ts), ts, ts-10)
 		totalReclaimed += rec
+		if rec > 0 && freed == nil {
+			t.Fatalf("install at ts %d reclaimed %d nodes but returned no displaced image", ts, rec)
+		}
 	}
 	if n := c.Len(); n > 2 {
 		t.Fatalf("chain grew to %d versions despite a caught-up watermark", n)

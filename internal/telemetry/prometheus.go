@@ -87,6 +87,8 @@ func (r *Registry) WriteMetrics(w io.Writer) {
 
 	counter(w, "bamboo_snapshot_reads_total", "Row reads served by the lock-free MVCC snapshot path.", "counter", live.SnapshotReads.Load())
 	counter(w, "bamboo_versions_pruned_total", "MVCC version nodes reclaimed (install-time reuse plus background sweeps).", "counter", versionsPruned)
+	counter(w, "bamboo_image_copies_total", "Fresh row-image buffer allocations on the write path.", "counter", live.ImageCopies.Load())
+	counter(w, "bamboo_image_pool_recycled_total", "Write copies served from recycled spare image buffers.", "counter", live.ImagePoolRecycled.Load())
 
 	var qv [8]time.Duration
 	n := live.Lat.QuantilesInto(quantiles, qv[:len(quantiles)])

@@ -106,6 +106,9 @@ type Snapshot struct {
 	VersionsPruned  uint64 `json:"versions_pruned"`
 	VersionChainMax uint64 `json:"version_chain_max"`
 
+	ImageCopies       uint64 `json:"image_copies"`
+	ImagePoolRecycled uint64 `json:"image_pool_recycled"`
+
 	HotEntries    uint64 `json:"hot_entries"`
 	PolicyFlips   uint64 `json:"policy_flips"`
 	BatchedGrants uint64 `json:"batched_grants"`
@@ -141,6 +144,8 @@ func (r *Registry) Snapshot() Snapshot {
 	s.Retires = live.Retires.Load()
 	s.SnapshotReads = live.SnapshotReads.Load()
 	s.VersionsPruned = live.VersionsPruned.Load()
+	s.ImageCopies = live.ImageCopies.Load()
+	s.ImagePoolRecycled = live.ImagePoolRecycled.Load()
 
 	if g := src.Global; g != nil {
 		s.Wounds = g.Wounds.Load()

@@ -177,6 +177,14 @@ func (l *Log) NewAppender() *Appender { return &Appender{l: l} }
 // buffer is reused on the next call, which is safe under the Device
 // no-retention rule and because group commit blocks until the flush that
 // covers the record completes.
+//
+// The encode copies rec's payloads — including row images — into the
+// appender's own buffer before anything crosses the device boundary, so
+// the log never retains a reference to a caller's row image past
+// Commit's (or Submit's) return. That no-retain contract is what lets
+// the engine share one immutable image buffer between the lock table,
+// the version chain and the WAL, and recycle it at release without
+// consulting the log.
 func (a *Appender) Commit(rec *Record) (uint64, error) {
 	a.buf = AppendRecord(a.buf[:0], rec)
 	return a.l.append(a.buf)
