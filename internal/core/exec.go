@@ -545,13 +545,23 @@ type OnCommitHook func(worker int, txnID, ts uint64, accesses []AccessInfo, inse
 // SetOnCommit installs a commit hook (testing/verification only; it runs
 // inside the commit critical path). Hooks receive AccessInfo slices that
 // reference installed images and may retain them past lock release (the
-// verifier stores whole access lists), so installing a hook permanently
-// disables superseded-image recycling.
+// verifier stores whole access lists), so installing a hook disables
+// superseded-image recycling on both the lock side (SetImageRecycling)
+// and the MVCC install path (installVersions checks db.onCommit before
+// harvesting detached version images).
+//
+// Neither store is synchronized with concurrent releases: a transaction
+// already past its hook check may still capture a spare while the flag
+// flips. SetOnCommit must therefore be called before any transactions
+// run (or with all workers quiesced); mid-run installs are not supported.
+// The recycle flag is stored before the hook pointer so a transaction
+// that observes the hook never races a stale recycle==true on its own
+// release path.
 func (db *DB) SetOnCommit(h OnCommitHook) {
-	db.onCommit = h
 	if h != nil {
 		db.Lock.SetImageRecycling(false)
 	}
+	db.onCommit = h
 }
 
 // OnCommit returns the installed commit hook (nil if none). Alternate
@@ -797,14 +807,18 @@ func (s *lockSession) installVersions(tx *lockTx) error {
 			// and the lock entry share one buffer per committed version.
 			_, rec, freed := a.row.Versions.Install(a.req.Data, cts, rts)
 			reclaimed += rec
-			if freed != nil {
+			if freed != nil && s.db.onCommit == nil {
 				// Harvest: the detached version's image is unreachable by
 				// any snapshot reader (it is below the reclaim watermark)
 				// and by the lock side (only the newest committed image can
 				// still be referenced there; this one was superseded at
 				// least one committed generation ago). Reuse its storage as
 				// the request's spare so the next write copy allocates
-				// nothing even with MVCC on.
+				// nothing even with MVCC on. A commit hook forfeits this:
+				// hooks retain AccessInfo that references installed images
+				// indefinitely (SetOnCommit), so no image may ever be
+				// recycled while one is installed — the lock-side flag only
+				// covers releaseLocked's capture, not this harvest.
 				a.req.StashBuf(freed)
 			}
 		}

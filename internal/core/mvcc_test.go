@@ -7,6 +7,7 @@ import (
 	"bamboo/internal/core"
 	"bamboo/internal/stats"
 	"bamboo/internal/storage"
+	"bamboo/internal/txn"
 	"bamboo/internal/verify/verifytest"
 )
 
@@ -119,6 +120,74 @@ func TestMVCCReadOnlyFallback(t *testing.T) {
 	}
 	if col.SnapshotReads == 0 {
 		t.Fatal("no snapshot reads recorded")
+	}
+}
+
+// TestMVCCCommitHookRetainedImages pins the recycling opt-out across the
+// MVCC install path: commit hooks retain AccessInfo whose Wrote/Read
+// slices reference installed images, so no superseded version-chain
+// image may be harvested into a request's spare buffer while a hook is
+// installed — the lock-side SetImageRecycling flag covers only the
+// release-time capture, not installVersions' harvest. Without the gate,
+// each update to one hot row recycles the image a hook retained two
+// commits earlier and the next write copy overwrites its bytes.
+//
+// The reclaim watermark is advanced by hand between commits (the
+// background pruner is parked on an hour-long tick) so the very next
+// Install deterministically detaches the superseded version instead of
+// racing the pruner's sweep for it.
+func TestMVCCCommitHookRetainedImages(t *testing.T) {
+	cfg := core.Bamboo()
+	cfg.MVCC = true
+	cfg.MVCCPruneInterval = time.Hour // keep the sweep out of the race
+	db := core.NewDB(cfg)
+	defer db.Close()
+	schema := storage.NewSchema("kv", storage.Column{Name: "v", Type: storage.ColInt64})
+	tbl := db.Catalog.MustCreateTable(schema, 1)
+	tbl.MustInsertRow(0, schema.NewRowImage())
+
+	type retained struct {
+		img  []byte // referenced, not copied — exactly what the verifier keeps
+		want int64
+	}
+	var kept []retained
+	db.SetOnCommit(func(_ int, _, _ uint64, accesses []core.AccessInfo, _ int) {
+		for _, a := range accesses {
+			if a.Wrote != nil {
+				kept = append(kept, retained{img: a.Wrote, want: schema.GetInt64(a.Wrote, 0)})
+			}
+		}
+	})
+
+	// Watermark-advance allocator on its own slot (the session runs on
+	// worker 0, the parked pruner on TSWorkerSlots-1).
+	alloc := txn.NewTSAlloc(1)
+	db.Snap.Register(1)
+
+	const commits = 64
+	eng := core.NewLockEngine(db)
+	sess := eng.NewSession(0, &stats.Collector{})
+	for i := 0; i < commits; i++ {
+		v := int64(i + 1)
+		if err := sess.Run(func(tx core.Tx) error {
+			tx.DeclareOps(1)
+			return tx.Update(tbl.Get(0), func(img []byte) {
+				schema.SetInt64(img, 0, v)
+			})
+		}); err != nil {
+			t.Fatal(err)
+		}
+		db.Snap.AdvanceReclaim(alloc)
+	}
+	if len(kept) != commits {
+		t.Fatalf("hook saw %d writes, want %d", len(kept), commits)
+	}
+	for i, r := range kept {
+		if got := schema.GetInt64(r.img, 0); got != r.want {
+			t.Fatalf("retained image from commit %d corrupted: v=%d, want %d "+
+				"(a superseded version image was recycled while a commit hook held it)",
+				i, got, r.want)
+		}
 	}
 }
 
